@@ -1,0 +1,42 @@
+//! Criterion bench for experiment E5 (Theorem 4.8 / Corollary 4.9): cost of
+//! the layered gracefully degrading construction vs a single Thorup–Zwick
+//! construction of comparable worst-case stretch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsketch::prelude::*;
+use dsketch::slack::degrading::{DegradingParams, DistributedDegrading};
+use dsketch_bench::workloads::{Workload, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_degrading(c: &mut Criterion) {
+    let spec = WorkloadSpec::new(Workload::ErdosRenyi, 96, 17);
+    let graph = spec.build();
+
+    let mut group = c.benchmark_group("e5_degrading");
+    group.sample_size(10);
+    group.bench_function("layered_degrading", |b| {
+        b.iter(|| {
+            let s = DistributedDegrading::run(
+                &graph,
+                DegradingParams::new(3).with_max_k(3),
+                DistributedTzConfig::default(),
+            )
+            .unwrap();
+            black_box(s.stats.rounds)
+        })
+    });
+    group.bench_function("plain_tz_log_n", |b| {
+        b.iter(|| {
+            let result = DistributedTz::run(
+                &graph,
+                &TzParams::log_n(graph.num_nodes()).with_seed(3),
+                DistributedTzConfig::default(),
+            );
+            black_box(result.stats.rounds)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_degrading);
+criterion_main!(benches);

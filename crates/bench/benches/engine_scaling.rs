@@ -1,0 +1,45 @@
+//! Ablation bench for the simulator engine itself (DESIGN.md §4.4): how the
+//! wall-clock cost of simulating the distributed construction changes with
+//! the number of worker threads used for the per-round compute step.
+//!
+//! The results must be *identical* regardless of thread count (asserted by
+//! the integration tests); this bench measures only the speed of the
+//! simulation harness, i.e. the HPC-parallel ablation of the engine design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use congest_sim::CongestConfig;
+use dsketch::prelude::*;
+use dsketch_bench::workloads::{Workload, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_engine_threads(c: &mut Criterion) {
+    let spec = WorkloadSpec::new(Workload::ErdosRenyi, 256, 42);
+    let graph = spec.build();
+    let params = TzParams::new(3).with_seed(7);
+
+    let mut group = c.benchmark_group("engine_thread_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("threads={threads}")),
+            &threads,
+            |b, &threads| {
+                let config = DistributedTzConfig {
+                    congest: CongestConfig {
+                        num_threads: threads,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                };
+                b.iter(|| {
+                    let result = DistributedTz::run(&graph, &params, config);
+                    black_box(result.stats.messages)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_threads);
+criterion_main!(benches);

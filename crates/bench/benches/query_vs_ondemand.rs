@@ -1,0 +1,65 @@
+//! Criterion bench for experiments E7/E9: local query time from two sketches
+//! (the online operation the whole paper optimizes for) versus an on-demand
+//! simulated Bellman–Ford, plus the query cost of the slack variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use congest_sim::programs::bellman_ford::BellmanFordProgram;
+use congest_sim::{CongestConfig, Network};
+use dsketch::prelude::*;
+use dsketch::query::estimate_distance_best_common;
+use dsketch_bench::workloads::{Workload, WorkloadSpec};
+use netgraph::NodeId;
+use std::hint::black_box;
+
+fn bench_query(c: &mut Criterion) {
+    let spec = WorkloadSpec::new(Workload::ErdosRenyi, 192, 13);
+    let graph = spec.build();
+    let result = DistributedTz::run(
+        &graph,
+        &TzParams::new(3).with_seed(5),
+        DistributedTzConfig::default(),
+    );
+    let pairs: Vec<(NodeId, NodeId)> = (0..64u32)
+        .map(|i| (NodeId(i % 192), NodeId((i * 73 + 17) % 192)))
+        .filter(|(u, v)| u != v)
+        .collect();
+
+    let mut group = c.benchmark_group("e7_query");
+    group.bench_function("sketch_level_walk", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for &(u, v) in &pairs {
+                total += estimate_distance(result.sketches.sketch(u), result.sketches.sketch(v))
+                    .unwrap();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("sketch_best_common", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for &(u, v) in &pairs {
+                total += estimate_distance_best_common(
+                    result.sketches.sketch(u),
+                    result.sketches.sketch(v),
+                )
+                .unwrap();
+            }
+            black_box(total)
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("ondemand_bellman_ford_one_query", |b| {
+        b.iter(|| {
+            let mut net = Network::new(&graph, CongestConfig::default(), |x| {
+                BellmanFordProgram::new(x, x == NodeId(0))
+            });
+            let outcome = net.run_until_quiescent(u64::MAX);
+            black_box(outcome.stats.rounds)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

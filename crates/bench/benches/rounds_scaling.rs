@@ -1,0 +1,38 @@
+//! Criterion bench for experiments E2/E10 (Theorem 3.8): how the simulated
+//! construction scales with the network size and with the shortest-path
+//! diameter `S`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dsketch::prelude::*;
+use dsketch_bench::workloads::{Workload, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_rounds_scaling");
+    group.sample_size(10);
+    for family in [Workload::ErdosRenyi, Workload::Ring] {
+        for n in [64usize, 128, 256] {
+            let spec = WorkloadSpec::new(family, n, 77);
+            let graph = spec.build();
+            group.throughput(Throughput::Elements(graph.num_edges() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(family.name(), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let result = DistributedTz::run(
+                            &graph,
+                            &TzParams::new(2).with_seed(3),
+                            DistributedTzConfig::default(),
+                        );
+                        black_box(result.stats.messages)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench for experiments E3/E4 (Theorems 4.3 and 4.6): slack
+//! sketch construction cost as the slack parameter ε varies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsketch::distributed::DistributedTzConfig;
+use dsketch::slack::cdg::{CdgParams, DistributedCdg};
+use dsketch::slack::three_stretch::DistributedThreeStretch;
+use dsketch_bench::workloads::{Workload, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_slack(c: &mut Criterion) {
+    let spec = WorkloadSpec::new(Workload::ErdosRenyi, 128, 21);
+    let graph = spec.build();
+
+    let mut group = c.benchmark_group("e3_three_stretch");
+    group.sample_size(10);
+    for eps in [0.4f64, 0.2, 0.1] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps={eps}")),
+            &eps,
+            |b, &eps| {
+                b.iter(|| {
+                    let s = DistributedThreeStretch::run(
+                        &graph,
+                        eps,
+                        9,
+                        congest_sim::CongestConfig::default(),
+                        u64::MAX,
+                    )
+                    .unwrap();
+                    black_box(s.stats.rounds)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e4_cdg");
+    group.sample_size(10);
+    for (eps, k) in [(0.2f64, 2usize), (0.1, 2), (0.05, 3)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("eps={eps}_k={k}")),
+            &(eps, k),
+            |b, &(eps, k)| {
+                b.iter(|| {
+                    let s = DistributedCdg::run(
+                        &graph,
+                        CdgParams::new(eps, k).with_seed(3),
+                        DistributedTzConfig::default(),
+                    )
+                    .unwrap();
+                    black_box(s.stats.rounds)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slack);
+criterion_main!(benches);

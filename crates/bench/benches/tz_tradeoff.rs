@@ -1,0 +1,46 @@
+//! Criterion bench for experiment E1 (Theorem 1.1): construction cost of
+//! Thorup–Zwick sketches as `k` varies, distributed vs centralized.
+//!
+//! The experiment harness (`--bin experiments -- e1`) reports rounds,
+//! messages, sizes and stretch; this bench reports wall-clock time of the
+//! simulated distributed construction and of the centralized baseline on the
+//! same workloads, i.e. the "construction cost" axis of the trade-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsketch::prelude::*;
+use dsketch_bench::workloads::{Workload, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_tz_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_tz_construction");
+    group.sample_size(10);
+    let spec = WorkloadSpec::new(Workload::ErdosRenyi, 128, 42);
+    let graph = spec.build();
+
+    for k in [1usize, 2, 3, 4] {
+        let params = TzParams::new(k).with_seed(7);
+        group.bench_with_input(BenchmarkId::new("distributed", k), &k, |b, _| {
+            b.iter(|| {
+                let result =
+                    DistributedTz::run(&graph, &params, DistributedTzConfig::default());
+                black_box(result.stats.rounds)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("centralized", k), &k, |b, _| {
+            b.iter(|| {
+                let (h, _) = Hierarchy::sample_until_top_nonempty(
+                    graph.num_nodes(),
+                    &params,
+                    500,
+                )
+                .unwrap();
+                let tz = CentralizedTz::build(&graph, &h);
+                black_box(tz.sketches.max_words())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tz_construction);
+criterion_main!(benches);

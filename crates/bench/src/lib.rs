@@ -1,0 +1,26 @@
+//! Experiment harness reproducing the paper's results.
+//!
+//! The paper is a theory paper: its "evaluation" is the set of theorems
+//! bounding stretch, sketch size, rounds, and messages.  Each experiment in
+//! this crate is the empirical counterpart of one theorem or lemma (the
+//! mapping is the per-experiment index in `DESIGN.md`); the harness measures
+//! the quantities the theorem bounds on synthetic workloads and prints a
+//! table with both the measured value and the theoretical prediction, so
+//! EXPERIMENTS.md can record paper-vs-measured rows.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p dsketch-bench --bin experiments -- all
+//! cargo run --release -p dsketch-bench --bin experiments -- e1 --quick
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;
+pub mod workloads;
+
+pub use experiments::{run_experiment, ExperimentResult, EXPERIMENT_IDS};
+pub use table::Table;
+pub use workloads::{Workload, WorkloadSpec};

@@ -1,0 +1,142 @@
+//! Workload definitions shared by all experiments.
+//!
+//! Every experiment row records the workload it ran on; a [`WorkloadSpec`]
+//! is a named, seeded recipe so that EXPERIMENTS.md rows are reproducible
+//! verbatim.
+
+use netgraph::diameter::{diameters, DiameterReport};
+use netgraph::generators::{
+    erdos_renyi, grid, preferential_attachment, ring, GeneratorConfig,
+};
+use netgraph::Graph;
+
+/// The topology family of a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Erdős–Rényi with average degree ≈ 8 and weights 1..100 (low S).
+    ErdosRenyi,
+    /// Square grid with weights 1..10 (S ≈ 2√n).
+    Grid,
+    /// Unweighted ring (S = n/2, the adversarial case).
+    Ring,
+    /// Preferential attachment, m = 3, weights 1..100 (power-law degrees).
+    PowerLaw,
+}
+
+impl Workload {
+    /// Short name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::ErdosRenyi => "erdos-renyi",
+            Workload::Grid => "grid",
+            Workload::Ring => "ring",
+            Workload::PowerLaw => "power-law",
+        }
+    }
+
+    /// All families, in the order they appear in tables.
+    pub fn all() -> [Workload; 4] {
+        [
+            Workload::ErdosRenyi,
+            Workload::Grid,
+            Workload::Ring,
+            Workload::PowerLaw,
+        ]
+    }
+}
+
+/// A named, seeded workload recipe.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Topology family.
+    pub family: Workload,
+    /// Target node count (grids round to the nearest square).
+    pub n: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Create a spec.
+    pub fn new(family: Workload, n: usize, seed: u64) -> Self {
+        WorkloadSpec { family, n, seed }
+    }
+
+    /// Generate the graph.
+    pub fn build(&self) -> Graph {
+        match self.family {
+            Workload::ErdosRenyi => erdos_renyi(
+                self.n,
+                8.0 / self.n as f64,
+                GeneratorConfig::uniform(self.seed, 1, 100),
+            ),
+            Workload::Grid => {
+                let side = (self.n as f64).sqrt().round() as usize;
+                grid(side, side, GeneratorConfig::uniform(self.seed, 1, 10))
+            }
+            Workload::Ring => ring(self.n, GeneratorConfig::unit(self.seed)),
+            Workload::PowerLaw => preferential_attachment(
+                self.n,
+                3,
+                GeneratorConfig::uniform(self.seed, 1, 100),
+            ),
+        }
+    }
+
+    /// Generate the graph and measure its diameters (exact for `n ≤ 512`,
+    /// estimated above that to keep the harness fast).
+    pub fn build_with_diameters(&self) -> (Graph, DiameterReport) {
+        let graph = self.build();
+        let report = if graph.num_nodes() <= 512 {
+            diameters(&graph)
+        } else {
+            netgraph::diameter::estimate_diameters(&graph, 8, self.seed)
+        };
+        (graph, report)
+    }
+
+    /// A human-readable label like `grid(n=256)`.
+    pub fn label(&self) -> String {
+        format!("{}(n={})", self.family.name(), self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::generators::is_connected;
+
+    #[test]
+    fn all_families_build_connected_graphs() {
+        for family in Workload::all() {
+            let spec = WorkloadSpec::new(family, 100, 7);
+            let g = spec.build();
+            assert!(is_connected(&g), "{} should be connected", spec.label());
+            assert!(g.num_nodes() >= 95, "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn ring_has_larger_sp_diameter_than_er() {
+        let (_, ring_d) = WorkloadSpec::new(Workload::Ring, 128, 3).build_with_diameters();
+        let (_, er_d) = WorkloadSpec::new(Workload::ErdosRenyi, 128, 3).build_with_diameters();
+        assert!(ring_d.shortest_path_diameter > er_d.shortest_path_diameter);
+    }
+
+    #[test]
+    fn labels_and_names() {
+        assert_eq!(Workload::Grid.name(), "grid");
+        assert_eq!(WorkloadSpec::new(Workload::Ring, 64, 1).label(), "ring(n=64)");
+        assert_eq!(Workload::all().len(), 4);
+    }
+
+    #[test]
+    fn specs_are_reproducible() {
+        let a = WorkloadSpec::new(Workload::PowerLaw, 80, 5).build();
+        let b = WorkloadSpec::new(Workload::PowerLaw, 80, 5).build();
+        assert_eq!(
+            a.undirected_edges().collect::<Vec<_>>(),
+            b.undirected_edges().collect::<Vec<_>>()
+        );
+    }
+}

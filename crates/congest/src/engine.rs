@@ -1,0 +1,555 @@
+//! The synchronous round engine.
+//!
+//! One [`Network`] owns one [`NodeProgram`] instance per graph node and
+//! repeatedly executes rounds:
+//!
+//! 1. **Compute** — every node program is stepped with the messages that were
+//!    delivered to it at the end of the previous round.  Node state is fully
+//!    node-local, so this step is executed in parallel across a pool of
+//!    scoped threads; the result is bit-identical to a sequential execution
+//!    because programs cannot observe each other within a round.
+//! 2. **Deliver** — queued messages are moved to their destination inboxes in
+//!    deterministic (sender-id) order, adjacency is validated, the per-edge
+//!    bandwidth budget is enforced, and statistics are updated.
+//!
+//! The run terminates when every program reports `is_done()` and no messages
+//! are in flight (the simulator's global-termination oracle), or when the
+//! configured round limit is hit.
+
+use crate::message::MessageSize;
+use crate::node::{Incoming, NodeContext, NodeProgram};
+use crate::stats::RunStats;
+use netgraph::{Graph, NodeId};
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CongestConfig {
+    /// Maximum number of messages a node may send over one edge in one round.
+    ///
+    /// The CONGEST model allows exactly one `O(log n)`-bit message per edge
+    /// per round; the paper's constructions use a small constant number of
+    /// logical messages per edge per round (e.g. one Bellman–Ford
+    /// announcement plus one ECHO of the termination-detection layer, which
+    /// the paper accounts for as "at most doubling" the message complexity).
+    /// The default of 4 admits that constant while still catching runaway
+    /// programs; set it to 1 to assert the strict model.
+    pub messages_per_edge_per_round: usize,
+    /// Number of worker threads for the compute step.  `0` means "use all
+    /// available parallelism".
+    pub num_threads: usize,
+    /// If true (default), exceeding the bandwidth budget panics; if false the
+    /// violation is only counted in [`RunStats::bandwidth_violations`].
+    pub panic_on_bandwidth_violation: bool,
+}
+
+impl Default for CongestConfig {
+    fn default() -> Self {
+        CongestConfig {
+            messages_per_edge_per_round: 4,
+            num_threads: 0,
+            panic_on_bandwidth_violation: true,
+        }
+    }
+}
+
+impl CongestConfig {
+    /// Strict CONGEST: one message per edge per round, violations panic.
+    pub fn strict() -> Self {
+        CongestConfig {
+            messages_per_edge_per_round: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Sequential execution (useful for debugging nondeterminism suspicions).
+    pub fn sequential() -> Self {
+        CongestConfig {
+            num_threads: 1,
+            ..Default::default()
+        }
+    }
+
+    fn resolved_threads(&self, n: usize) -> usize {
+        let hw = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        hw.clamp(1, n.max(1))
+    }
+}
+
+/// Result of driving a network until termination or a round limit.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// True if every node finished and no messages were in flight.
+    pub completed: bool,
+    /// Accumulated statistics for the run.
+    pub stats: RunStats,
+}
+
+/// A simulated CONGEST network executing one program per node.
+pub struct Network<'g, P: NodeProgram> {
+    graph: &'g Graph,
+    config: CongestConfig,
+    programs: Vec<P>,
+    inboxes: Vec<Vec<Incoming<P::Message>>>,
+    stats: RunStats,
+    round: u64,
+    started: bool,
+}
+
+impl<'g, P: NodeProgram> Network<'g, P> {
+    /// Create a network over `graph`, instantiating one program per node via
+    /// `factory` (called with each node's id in increasing order).
+    pub fn new(
+        graph: &'g Graph,
+        config: CongestConfig,
+        mut factory: impl FnMut(NodeId) -> P,
+    ) -> Self {
+        let n = graph.num_nodes();
+        let programs = graph.nodes().map(&mut factory).collect();
+        Network {
+            graph,
+            config,
+            programs,
+            inboxes: std::iter::repeat_with(Vec::new).take(n).collect(),
+            stats: RunStats::default(),
+            round: 0,
+            started: false,
+        }
+    }
+
+    /// The graph being simulated.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Immutable access to the node programs (for extracting results).
+    pub fn programs(&self) -> &[P] {
+        &self.programs
+    }
+
+    /// The program instance at `node`.
+    pub fn program(&self, node: NodeId) -> &P {
+        &self.programs[node.index()]
+    }
+
+    /// Consume the network and return the node programs.
+    pub fn into_programs(self) -> Vec<P> {
+        self.programs
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// True if all programs report done and no messages are in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.programs.iter().all(|p| p.is_done())
+            && self.inboxes.iter().all(|i| i.is_empty())
+    }
+
+    /// Execute rounds until quiescence or until `max_rounds` rounds have been
+    /// executed in total, whichever comes first.
+    pub fn run_until_quiescent(&mut self, max_rounds: u64) -> RunOutcome {
+        self.ensure_started();
+        while !self.is_quiescent() && self.round < max_rounds {
+            self.step();
+        }
+        RunOutcome {
+            completed: self.is_quiescent(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Execute exactly `rounds` additional rounds (or stop earlier at
+    /// quiescence).
+    pub fn run_rounds(&mut self, rounds: u64) -> RunOutcome {
+        self.ensure_started();
+        for _ in 0..rounds {
+            if self.is_quiescent() {
+                break;
+            }
+            self.step();
+        }
+        RunOutcome {
+            completed: self.is_quiescent(),
+            stats: self.stats.clone(),
+        }
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        // `on_start` runs as a round-(-1) compute step with empty inboxes;
+        // whatever it sends is delivered before round 0.
+        let outboxes = self.compute_step(true);
+        self.deliver(outboxes, false);
+    }
+
+    /// Execute one full round (compute + deliver) and update statistics.
+    pub fn step(&mut self) {
+        self.ensure_started();
+        let outboxes = self.compute_step(false);
+        self.deliver(outboxes, true);
+        self.round += 1;
+    }
+
+    /// Run the compute half of a round, in parallel, returning per-node
+    /// outboxes.  `starting` selects `on_start` vs `on_round`.
+    fn compute_step(&mut self, starting: bool) -> Vec<Vec<(NodeId, P::Message)>> {
+        let n = self.graph.num_nodes();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = self.config.resolved_threads(n);
+        let chunk = n.div_ceil(threads);
+        let round = self.round;
+        let graph = self.graph;
+
+        let mut outboxes: Vec<Vec<(NodeId, P::Message)>> = Vec::with_capacity(n);
+        outboxes.resize_with(n, Vec::new);
+
+        if threads == 1 {
+            for (i, program) in self.programs.iter_mut().enumerate() {
+                let inbox = std::mem::take(&mut self.inboxes[i]);
+                outboxes[i] = run_one(program, graph, NodeId::from_index(i), round, inbox, starting);
+            }
+            return outboxes;
+        }
+
+        let programs = &mut self.programs;
+        let inboxes = &mut self.inboxes;
+        std::thread::scope(|scope| {
+            let prog_chunks = programs.chunks_mut(chunk);
+            let inbox_chunks = inboxes.chunks_mut(chunk);
+            let out_chunks = outboxes.chunks_mut(chunk);
+            for (chunk_idx, ((progs, inbs), outs)) in
+                prog_chunks.zip(inbox_chunks).zip(out_chunks).enumerate()
+            {
+                let base = chunk_idx * chunk;
+                scope.spawn(move || {
+                    for (offset, ((program, inbox_slot), out_slot)) in progs
+                        .iter_mut()
+                        .zip(inbs.iter_mut())
+                        .zip(outs.iter_mut())
+                        .enumerate()
+                    {
+                        let node = NodeId::from_index(base + offset);
+                        let inbox = std::mem::take(inbox_slot);
+                        *out_slot = run_one(program, graph, node, round, inbox, starting);
+                    }
+                });
+            }
+        });
+        outboxes
+    }
+
+    /// Deliver outboxes into inboxes, enforcing adjacency and bandwidth, and
+    /// (if `count_round`) record one round of statistics.
+    fn deliver(&mut self, outboxes: Vec<Vec<(NodeId, P::Message)>>, count_round: bool) {
+        let mut messages: u64 = 0;
+        let mut words: u64 = 0;
+        let budget = self.config.messages_per_edge_per_round;
+
+        for (u_idx, outbox) in outboxes.into_iter().enumerate() {
+            let u = NodeId::from_index(u_idx);
+            if outbox.is_empty() {
+                continue;
+            }
+            // Per-destination counts for bandwidth enforcement.  Outboxes are
+            // small (≤ degree × budget), so a sorted scan is cheap.
+            let mut dest_counts: Vec<(NodeId, usize)> = Vec::new();
+            for (to, message) in outbox {
+                let edge_weight = match self.graph.edge_weight(u, to) {
+                    Some(w) => w,
+                    None => panic!(
+                        "CONGEST violation: {u} attempted to send to non-neighbor {to}"
+                    ),
+                };
+                let count = match dest_counts.iter_mut().find(|(d, _)| *d == to) {
+                    Some((_, c)) => {
+                        *c += 1;
+                        *c
+                    }
+                    None => {
+                        dest_counts.push((to, 1));
+                        1
+                    }
+                };
+                if count > budget {
+                    self.stats.bandwidth_violations += 1;
+                    if self.config.panic_on_bandwidth_violation {
+                        panic!(
+                            "CONGEST bandwidth violation: {u} sent {count} messages to {to} \
+                             in one round (budget {budget})"
+                        );
+                    }
+                }
+                messages += 1;
+                words += message.words() as u64;
+                self.inboxes[to.index()].push(Incoming {
+                    from: u,
+                    edge_weight,
+                    message,
+                });
+            }
+        }
+
+        if count_round {
+            self.stats.record_round(messages, words);
+        } else {
+            // The on_start pseudo-round only contributes its messages/words.
+            self.stats.messages += messages;
+            self.stats.words += words;
+            if messages > 0 {
+                self.stats.max_messages_in_round = self.stats.max_messages_in_round.max(messages);
+            }
+        }
+    }
+}
+
+/// Step a single program and return its outbox.
+fn run_one<P: NodeProgram>(
+    program: &mut P,
+    graph: &Graph,
+    node: NodeId,
+    round: u64,
+    inbox: Vec<Incoming<P::Message>>,
+    starting: bool,
+) -> Vec<(NodeId, P::Message)> {
+    let mut ctx = NodeContext {
+        node,
+        round,
+        graph,
+        incoming: &inbox,
+        outgoing: Vec::new(),
+    };
+    if starting {
+        program.on_start(&mut ctx);
+    } else {
+        program.on_round(&mut ctx);
+    }
+    ctx.outgoing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::generators::{ring, GeneratorConfig};
+    use netgraph::GraphBuilder;
+
+    /// Flooding program: the root broadcasts a token once; every node
+    /// re-broadcasts the first time it hears it.  Classic BFS-style flood.
+    struct Flood {
+        me: NodeId,
+        root: NodeId,
+        heard_at_round: Option<u64>,
+        pending_broadcast: bool,
+    }
+
+    impl Flood {
+        fn new(me: NodeId, root: NodeId) -> Self {
+            Flood {
+                me,
+                root,
+                heard_at_round: None,
+                pending_broadcast: false,
+            }
+        }
+    }
+
+    impl NodeProgram for Flood {
+        type Message = u64;
+
+        fn on_start(&mut self, ctx: &mut NodeContext<'_, u64>) {
+            if self.me == self.root {
+                self.heard_at_round = Some(0);
+                ctx.broadcast(0);
+            }
+        }
+
+        fn on_round(&mut self, ctx: &mut NodeContext<'_, u64>) {
+            if self.pending_broadcast {
+                self.pending_broadcast = false;
+                ctx.broadcast(self.heard_at_round.unwrap());
+            }
+            if self.heard_at_round.is_none() && !ctx.incoming().is_empty() {
+                self.heard_at_round = Some(ctx.round() + 1);
+                ctx.broadcast(ctx.round() + 1);
+            }
+        }
+
+        fn is_done(&self) -> bool {
+            !self.pending_broadcast
+        }
+    }
+
+    fn path(n: usize) -> netgraph::Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge_idx(i, i + 1, 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn flood_reaches_all_nodes_in_hop_distance_rounds() {
+        let g = path(6);
+        let mut net = Network::new(&g, CongestConfig::default(), |u| Flood::new(u, NodeId(0)));
+        let outcome = net.run_until_quiescent(100);
+        assert!(outcome.completed);
+        for (i, p) in net.programs().iter().enumerate() {
+            assert_eq!(p.heard_at_round, Some(i as u64), "node {i}");
+        }
+    }
+
+    #[test]
+    fn flood_message_count_is_bounded_by_two_per_edge() {
+        let g = ring(20, GeneratorConfig::unit(1));
+        let mut net = Network::new(&g, CongestConfig::default(), |u| Flood::new(u, NodeId(0)));
+        let outcome = net.run_until_quiescent(100);
+        assert!(outcome.completed);
+        // Each node broadcasts exactly once => 2|E| directed messages total.
+        assert_eq!(outcome.stats.messages, 2 * g.num_edges() as u64);
+        assert!(outcome.stats.words >= outcome.stats.messages);
+    }
+
+    #[test]
+    fn sequential_and_parallel_execution_agree() {
+        let g = ring(31, GeneratorConfig::unit(2));
+        let mut seq = Network::new(&g, CongestConfig::sequential(), |u| Flood::new(u, NodeId(3)));
+        let mut par = Network::new(
+            &g,
+            CongestConfig {
+                num_threads: 4,
+                ..Default::default()
+            },
+            |u| Flood::new(u, NodeId(3)),
+        );
+        let so = seq.run_until_quiescent(200);
+        let po = par.run_until_quiescent(200);
+        assert_eq!(so.stats, po.stats);
+        for (a, b) in seq.programs().iter().zip(par.programs().iter()) {
+            assert_eq!(a.heard_at_round, b.heard_at_round);
+        }
+    }
+
+    #[test]
+    fn round_limit_stops_early() {
+        let g = path(50);
+        let mut net = Network::new(&g, CongestConfig::default(), |u| Flood::new(u, NodeId(0)));
+        let outcome = net.run_until_quiescent(3);
+        assert!(!outcome.completed);
+        assert_eq!(net.round(), 3);
+        // Continue to completion.
+        let outcome = net.run_until_quiescent(1_000);
+        assert!(outcome.completed);
+    }
+
+    #[test]
+    fn run_rounds_executes_fixed_number() {
+        let g = path(10);
+        let mut net = Network::new(&g, CongestConfig::default(), |u| Flood::new(u, NodeId(0)));
+        net.run_rounds(2);
+        assert_eq!(net.round(), 2);
+    }
+
+    /// Program that (illegally) sends to a non-neighbor.
+    struct BadSender {
+        me: NodeId,
+    }
+    impl NodeProgram for BadSender {
+        type Message = u64;
+        fn on_start(&mut self, ctx: &mut NodeContext<'_, u64>) {
+            if self.me == NodeId(0) {
+                // node 2 is not adjacent to node 0 in a path of length 3+
+                ctx.send(NodeId(2), 1);
+            }
+        }
+        fn on_round(&mut self, _ctx: &mut NodeContext<'_, u64>) {}
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn sending_to_non_neighbor_panics() {
+        let g = path(4);
+        let mut net = Network::new(&g, CongestConfig::sequential(), |u| BadSender { me: u });
+        net.run_until_quiescent(5);
+    }
+
+    /// Program that floods too many messages over one edge in one round.
+    struct Chatty {
+        me: NodeId,
+    }
+    impl NodeProgram for Chatty {
+        type Message = u64;
+        fn on_start(&mut self, ctx: &mut NodeContext<'_, u64>) {
+            if self.me == NodeId(0) {
+                for i in 0..10 {
+                    ctx.send(NodeId(1), i);
+                }
+            }
+        }
+        fn on_round(&mut self, _ctx: &mut NodeContext<'_, u64>) {}
+        fn is_done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth violation")]
+    fn exceeding_bandwidth_panics_by_default() {
+        let g = path(3);
+        let mut net = Network::new(&g, CongestConfig::sequential(), |u| Chatty { me: u });
+        net.run_until_quiescent(5);
+    }
+
+    #[test]
+    fn bandwidth_violations_can_be_counted_instead() {
+        let g = path(3);
+        let config = CongestConfig {
+            panic_on_bandwidth_violation: false,
+            messages_per_edge_per_round: 1,
+            num_threads: 1,
+        };
+        let mut net = Network::new(&g, config, |u| Chatty { me: u });
+        let outcome = net.run_until_quiescent(5);
+        assert!(outcome.stats.bandwidth_violations > 0);
+    }
+
+    #[test]
+    fn empty_graph_runs_trivially() {
+        let g = GraphBuilder::new(0).build();
+        let mut net = Network::new(&g, CongestConfig::default(), |u| Flood::new(u, NodeId(0)));
+        let outcome = net.run_until_quiescent(10);
+        assert!(outcome.completed);
+        assert_eq!(outcome.stats.messages, 0);
+    }
+
+    #[test]
+    fn program_accessors() {
+        let g = path(3);
+        let mut net = Network::new(&g, CongestConfig::default(), |u| Flood::new(u, NodeId(0)));
+        net.run_until_quiescent(10);
+        assert_eq!(net.graph().num_nodes(), 3);
+        assert_eq!(net.programs().len(), 3);
+        assert_eq!(net.program(NodeId(1)).heard_at_round, Some(1));
+        let programs = net.into_programs();
+        assert_eq!(programs.len(), 3);
+    }
+}

@@ -1,0 +1,178 @@
+//! The per-node program abstraction and the context handed to it each round.
+
+use crate::message::MessageSize;
+use netgraph::{Graph, NodeId, Weight};
+
+/// A distributed algorithm, as seen from one node.
+///
+/// The engine creates one program instance per node (via the factory passed
+/// to [`crate::Network::new`]), calls [`NodeProgram::on_start`] once before
+/// the first round, and then calls [`NodeProgram::on_round`] every round with
+/// the messages that arrived at the end of the previous round.  The run ends
+/// when every program reports [`NodeProgram::is_done`] *and* no messages are
+/// in flight, or when the round limit is reached.
+///
+/// Programs must only communicate through the context's `send` methods —
+/// exactly the locality constraint of the CONGEST model.  Each program owns
+/// its local state, which is what makes the engine's parallel execution of a
+/// round safe.
+pub trait NodeProgram: Send {
+    /// The message type exchanged by this algorithm.
+    type Message: Clone + Send + MessageSize;
+
+    /// Called once before round 0.  Typically used by source/root nodes to
+    /// seed their first announcements.
+    fn on_start(&mut self, ctx: &mut NodeContext<'_, Self::Message>);
+
+    /// Called every round with the messages delivered at the end of the
+    /// previous round (available via [`NodeContext::incoming`]).
+    fn on_round(&mut self, ctx: &mut NodeContext<'_, Self::Message>);
+
+    /// A node is *done* when it will not send any further messages unless it
+    /// receives one.  The engine stops when all nodes are done and no message
+    /// is in flight; this is the simulator's global-termination oracle.
+    /// (The *distributed* termination detection of Section 3.3 is implemented
+    /// separately, inside the sketch programs, and can be compared against
+    /// this oracle.)
+    fn is_done(&self) -> bool;
+}
+
+/// One received message, tagged with the neighbor that sent it.
+#[derive(Debug, Clone)]
+pub struct Incoming<M> {
+    /// The neighbor the message arrived from.
+    pub from: NodeId,
+    /// The weight of the edge it arrived over (known locally in the model).
+    pub edge_weight: Weight,
+    /// The payload.
+    pub message: M,
+}
+
+/// Everything a node may legally observe and do during one round.
+pub struct NodeContext<'a, M> {
+    pub(crate) node: NodeId,
+    pub(crate) round: u64,
+    pub(crate) graph: &'a Graph,
+    pub(crate) incoming: &'a [Incoming<M>],
+    pub(crate) outgoing: Vec<(NodeId, M)>,
+}
+
+impl<'a, M: Clone> NodeContext<'a, M> {
+    /// This node's identity.
+    pub fn me(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current round number (0 for the first round after `on_start`).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Total number of nodes `n` in the network.
+    ///
+    /// The paper assumes `n` (or a constant-factor estimate) is common
+    /// knowledge (Section 2.2), so exposing it locally is within the model.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Degree of this node.
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.node)
+    }
+
+    /// Iterator over `(neighbor, edge weight)` pairs — the node's initial
+    /// local knowledge.
+    pub fn neighbors(&self) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        self.graph.neighbors(self.node).map(|e| (e.to, e.weight))
+    }
+
+    /// Weight of the edge to `neighbor`, if it exists.
+    pub fn edge_weight_to(&self, neighbor: NodeId) -> Option<Weight> {
+        self.graph.edge_weight(self.node, neighbor)
+    }
+
+    /// Messages delivered to this node at the end of the previous round.
+    pub fn incoming(&self) -> &[Incoming<M>] {
+        self.incoming
+    }
+
+    /// Send `message` to `neighbor` (must be adjacent; checked by the
+    /// engine during delivery).
+    pub fn send(&mut self, neighbor: NodeId, message: M) {
+        self.outgoing.push((neighbor, message));
+    }
+
+    /// Send `message` to every neighbor.
+    pub fn broadcast(&mut self, message: M) {
+        let neighbors: Vec<NodeId> = self.graph.neighbors(self.node).map(|e| e.to).collect();
+        for v in neighbors {
+            self.outgoing.push((v, message.clone()));
+        }
+    }
+
+    /// Number of messages queued for sending this round so far.
+    pub fn queued(&self) -> usize {
+        self.outgoing.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::GraphBuilder;
+
+    fn path3() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_idx(0, 1, 4);
+        b.add_edge_idx(1, 2, 6);
+        b.build()
+    }
+
+    #[test]
+    fn context_exposes_local_view() {
+        let g = path3();
+        let incoming = vec![Incoming {
+            from: NodeId(0),
+            edge_weight: 4,
+            message: 10u64,
+        }];
+        let mut ctx = NodeContext {
+            node: NodeId(1),
+            round: 3,
+            graph: &g,
+            incoming: &incoming,
+            outgoing: Vec::new(),
+        };
+        assert_eq!(ctx.me(), NodeId(1));
+        assert_eq!(ctx.round(), 3);
+        assert_eq!(ctx.num_nodes(), 3);
+        assert_eq!(ctx.degree(), 2);
+        assert_eq!(ctx.edge_weight_to(NodeId(0)), Some(4));
+        assert_eq!(ctx.edge_weight_to(NodeId(2)), Some(6));
+        assert_eq!(ctx.incoming().len(), 1);
+        assert_eq!(ctx.incoming()[0].message, 10);
+
+        ctx.send(NodeId(0), 1u64);
+        ctx.broadcast(2u64);
+        assert_eq!(ctx.queued(), 3);
+        assert_eq!(ctx.outgoing[0], (NodeId(0), 1));
+        // broadcast goes to both neighbors, in sorted adjacency order
+        assert_eq!(ctx.outgoing[1], (NodeId(0), 2));
+        assert_eq!(ctx.outgoing[2], (NodeId(2), 2));
+    }
+
+    #[test]
+    fn neighbors_iterator_matches_graph() {
+        let g = path3();
+        let ctx = NodeContext::<u64> {
+            node: NodeId(0),
+            round: 0,
+            graph: &g,
+            incoming: &[],
+            outgoing: Vec::new(),
+        };
+        let nbrs: Vec<_> = ctx.neighbors().collect();
+        assert_eq!(nbrs, vec![(NodeId(1), 4)]);
+    }
+}

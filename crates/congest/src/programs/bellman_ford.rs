@@ -1,0 +1,340 @@
+//! Distributed Bellman–Ford (the paper's Algorithm 1) and its multi-source
+//! variants.
+//!
+//! * [`BellmanFordProgram`] computes, at every node, the distance to the
+//!   closest node of a *source set* (the "super source" construction used in
+//!   Lemma 4.5 to find each node's nearest density-net node).  With a
+//!   singleton source set it is exactly Algorithm 1.
+//! * [`KSourceBellmanFord`] computes, at every node, its distance to *each*
+//!   of `k` sources (the k-Source Shortest Paths problem used for phase
+//!   `k − 1` of the Thorup–Zwick construction and for the Theorem 4.3
+//!   sketches).  To respect the CONGEST bandwidth constraint it keeps one
+//!   outgoing queue per source and serves the non-empty queues round-robin,
+//!   exactly as described for Algorithm 2; the round complexity is
+//!   `O(|sources| · S)` as in Lemma 3.4.
+
+use crate::message::MessageSize;
+use crate::node::{NodeContext, NodeProgram};
+use netgraph::{add_dist, Distance, NodeId, INFINITY};
+use std::collections::BTreeMap;
+
+/// Message carrying a distance-to-source-set announcement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistanceAnnouncement {
+    /// The announced distance from the sender to the source set.
+    pub distance: Distance,
+}
+
+impl MessageSize for DistanceAnnouncement {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+/// Super-source distributed Bellman–Ford: every node learns `d(u, A)` where
+/// `A` is the source set.
+#[derive(Debug, Clone)]
+pub struct BellmanFordProgram {
+    me: NodeId,
+    is_source: bool,
+    dist: Distance,
+    pending_announce: bool,
+}
+
+impl BellmanFordProgram {
+    /// Create the program for node `me`; `is_source` marks membership in the
+    /// source set `A`.
+    pub fn new(me: NodeId, is_source: bool) -> Self {
+        BellmanFordProgram {
+            me,
+            is_source,
+            dist: if is_source { 0 } else { INFINITY },
+            pending_announce: false,
+        }
+    }
+
+    /// The node this program runs on.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// Distance to the source set discovered so far ([`INFINITY`] if none).
+    pub fn distance(&self) -> Distance {
+        self.dist
+    }
+}
+
+impl NodeProgram for BellmanFordProgram {
+    type Message = DistanceAnnouncement;
+
+    fn on_start(&mut self, ctx: &mut NodeContext<'_, Self::Message>) {
+        if self.is_source {
+            ctx.broadcast(DistanceAnnouncement { distance: 0 });
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeContext<'_, Self::Message>) {
+        // Relax all incoming announcements (Algorithm 1, lines 1–4).
+        let mut best = self.dist;
+        for inc in ctx.incoming() {
+            let candidate = add_dist(inc.message.distance, inc.edge_weight);
+            if candidate < best {
+                best = candidate;
+            }
+        }
+        if best < self.dist {
+            self.dist = best;
+            self.pending_announce = true;
+        }
+        // Announce an improvement (Algorithm 1, line 5).
+        if self.pending_announce {
+            self.pending_announce = false;
+            ctx.broadcast(DistanceAnnouncement { distance: self.dist });
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        !self.pending_announce
+    }
+}
+
+/// Message of the k-source variant: `(source id, distance)` — two words, an
+/// id and a distance, as in the paper's `⟨v, d⟩` messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourcedAnnouncement {
+    /// Which source this announcement refers to.
+    pub source: NodeId,
+    /// Announced distance from the sender to that source.
+    pub distance: Distance,
+}
+
+impl MessageSize for SourcedAnnouncement {
+    fn words(&self) -> usize {
+        2
+    }
+}
+
+/// k-Source Shortest Paths: every node learns its distance to each source.
+///
+/// Outgoing announcements are queued per source and served round-robin, one
+/// per round, so the program sends at most one message per edge per round.
+#[derive(Debug, Clone)]
+pub struct KSourceBellmanFord {
+    me: NodeId,
+    is_source: bool,
+    /// Best known distance per source.
+    dist: BTreeMap<NodeId, Distance>,
+    /// Sources with an un-sent improved distance, in FIFO order.
+    queue: std::collections::VecDeque<NodeId>,
+    /// Membership flags for `queue` to keep it duplicate-free.
+    queued: std::collections::BTreeSet<NodeId>,
+}
+
+impl KSourceBellmanFord {
+    /// Create the program for node `me`; `is_source` marks membership in the
+    /// source set.
+    pub fn new(me: NodeId, is_source: bool) -> Self {
+        let mut dist = BTreeMap::new();
+        if is_source {
+            dist.insert(me, 0);
+        }
+        KSourceBellmanFord {
+            me,
+            is_source,
+            dist,
+            queue: std::collections::VecDeque::new(),
+            queued: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// The node this program runs on.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// Distance to `source` discovered so far.
+    pub fn distance_to(&self, source: NodeId) -> Distance {
+        self.dist.get(&source).copied().unwrap_or(INFINITY)
+    }
+
+    /// All `(source, distance)` pairs discovered so far.
+    pub fn distances(&self) -> &BTreeMap<NodeId, Distance> {
+        &self.dist
+    }
+
+    fn enqueue(&mut self, source: NodeId) {
+        if self.queued.insert(source) {
+            self.queue.push_back(source);
+        }
+    }
+}
+
+impl NodeProgram for KSourceBellmanFord {
+    type Message = SourcedAnnouncement;
+
+    fn on_start(&mut self, ctx: &mut NodeContext<'_, Self::Message>) {
+        if self.is_source {
+            ctx.broadcast(SourcedAnnouncement {
+                source: self.me,
+                distance: 0,
+            });
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeContext<'_, Self::Message>) {
+        // Relax incoming announcements; queue improved sources.
+        let updates: Vec<(NodeId, Distance)> = ctx
+            .incoming()
+            .iter()
+            .map(|inc| {
+                (
+                    inc.message.source,
+                    add_dist(inc.message.distance, inc.edge_weight),
+                )
+            })
+            .collect();
+        for (source, candidate) in updates {
+            let entry = self.dist.entry(source).or_insert(INFINITY);
+            if candidate < *entry {
+                *entry = candidate;
+                self.enqueue(source);
+            }
+        }
+        // Serve one queued source per round (round-robin over non-empty
+        // queues, exactly one outgoing message per edge per round).
+        if let Some(source) = self.queue.pop_front() {
+            self.queued.remove(&source);
+            let distance = self.distance_to(source);
+            ctx.broadcast(SourcedAnnouncement { source, distance });
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CongestConfig, Network};
+    use netgraph::generators::{erdos_renyi, ring, GeneratorConfig};
+    use netgraph::shortest_path::multi_source_dijkstra;
+    use netgraph::GraphBuilder;
+
+    fn weighted_path(n: usize) -> netgraph::Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge_idx(i, i + 1, (i + 1) as u64);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_source_matches_dijkstra_on_path() {
+        let g = weighted_path(8);
+        let mut net = Network::new(&g, CongestConfig::strict(), |u| {
+            BellmanFordProgram::new(u, u == NodeId(0))
+        });
+        let outcome = net.run_until_quiescent(10_000);
+        assert!(outcome.completed);
+        let exact = multi_source_dijkstra(&g, &[NodeId(0)]);
+        for (i, p) in net.programs().iter().enumerate() {
+            assert_eq!(p.distance(), exact.dist[i], "node {i}");
+        }
+    }
+
+    #[test]
+    fn super_source_matches_multi_source_dijkstra() {
+        let g = erdos_renyi(80, 0.08, GeneratorConfig::uniform(5, 1, 20));
+        let sources = [NodeId(0), NodeId(17), NodeId(42)];
+        let mut net = Network::new(&g, CongestConfig::strict(), |u| {
+            BellmanFordProgram::new(u, sources.contains(&u))
+        });
+        let outcome = net.run_until_quiescent(100_000);
+        assert!(outcome.completed);
+        let exact = multi_source_dijkstra(&g, &sources);
+        for (i, p) in net.programs().iter().enumerate() {
+            assert_eq!(p.distance(), exact.dist[i], "node {i}");
+        }
+    }
+
+    #[test]
+    fn bellman_ford_rounds_bounded_by_sp_diameter_plus_constant() {
+        let g = ring(60, GeneratorConfig::unit(1));
+        let mut net = Network::new(&g, CongestConfig::strict(), |u| {
+            BellmanFordProgram::new(u, u == NodeId(0))
+        });
+        let outcome = net.run_until_quiescent(10_000);
+        assert!(outcome.completed);
+        let s = netgraph::diameter::shortest_path_diameter(&g);
+        // Algorithm 1 converges within S rounds; allow +2 slack for the
+        // final silent round and the start pseudo-round.
+        assert!(
+            outcome.stats.rounds <= (s as u64) + 2,
+            "rounds {} vs S {}",
+            outcome.stats.rounds,
+            s
+        );
+    }
+
+    #[test]
+    fn k_source_matches_per_source_dijkstra() {
+        let g = erdos_renyi(60, 0.1, GeneratorConfig::uniform(9, 1, 15));
+        let sources = [NodeId(3), NodeId(20), NodeId(45), NodeId(59)];
+        let mut net = Network::new(&g, CongestConfig::strict(), |u| {
+            KSourceBellmanFord::new(u, sources.contains(&u))
+        });
+        let outcome = net.run_until_quiescent(1_000_000);
+        assert!(outcome.completed);
+        for &s in &sources {
+            let exact = multi_source_dijkstra(&g, &[s]);
+            for (i, p) in net.programs().iter().enumerate() {
+                assert_eq!(p.distance_to(s), exact.dist[i], "node {i}, source {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_source_respects_strict_bandwidth() {
+        // Strict config panics on violation, so completing proves the
+        // round-robin queueing keeps within one message per edge per round.
+        let g = ring(30, GeneratorConfig::unit(4));
+        let sources: Vec<NodeId> = (0..10).map(|i| NodeId(i * 3)).collect();
+        let mut net = Network::new(&g, CongestConfig::strict(), |u| {
+            KSourceBellmanFord::new(u, sources.contains(&u))
+        });
+        let outcome = net.run_until_quiescent(1_000_000);
+        assert!(outcome.completed);
+        assert_eq!(outcome.stats.bandwidth_violations, 0);
+    }
+
+    #[test]
+    fn k_source_distances_accessor() {
+        let g = weighted_path(4);
+        let mut net = Network::new(&g, CongestConfig::strict(), |u| {
+            KSourceBellmanFord::new(u, u == NodeId(0) || u == NodeId(3))
+        });
+        net.run_until_quiescent(10_000);
+        let p = net.program(NodeId(1));
+        assert_eq!(p.distances().len(), 2);
+        assert_eq!(p.distance_to(NodeId(0)), 1);
+        assert_eq!(p.distance_to(NodeId(3)), 5);
+        assert_eq!(p.distance_to(NodeId(2)), INFINITY); // not a source
+        assert_eq!(p.node(), NodeId(1));
+    }
+
+    #[test]
+    fn no_sources_means_everything_stays_infinite() {
+        let g = weighted_path(5);
+        let mut net = Network::new(&g, CongestConfig::strict(), |u| {
+            BellmanFordProgram::new(u, false)
+        });
+        let outcome = net.run_until_quiescent(100);
+        assert!(outcome.completed);
+        assert_eq!(outcome.stats.messages, 0);
+        for p in net.programs() {
+            assert_eq!(p.distance(), INFINITY);
+        }
+    }
+}

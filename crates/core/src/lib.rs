@@ -1,0 +1,90 @@
+//! `dsketch` — distance sketches for distributed networks.
+//!
+//! This crate is the core of a from-scratch reproduction of
+//! *Efficient Computation of Distance Sketches in Distributed Networks*
+//! (Atish Das Sarma, Michael Dinitz, Gopal Pandurangan — SPAA 2012,
+//! arXiv:1112.1210).  The paper shows how to compute, in the CONGEST model
+//! of distributed computation, the following families of distance sketches:
+//!
+//! | construction | stretch | size (words) | rounds | paper |
+//! |---|---|---|---|---|
+//! | Thorup–Zwick sketches | `2k − 1` | `O(k n^{1/k} log n)` | `O(k n^{1/k} S log n)` | Thm 1.1 / 3.8 |
+//! | 3-stretch slack sketches | `3` with ε-slack | `O((1/ε) log n)` | `O(S (1/ε) log n)` | Thm 4.3 |
+//! | (ε, k)-CDG sketches | `8k − 1` with ε-slack | `O(k (1/ε log n)^{1/k} log n)` | `O(k S (1/ε log n)^{1/k} log n)` | Thm 1.2 / 4.6 |
+//! | gracefully degrading | `O(log 1/ε)` for every ε | `O(log^4 n)` | `O(S log^4 n)` | Thm 1.3 / 4.8 |
+//!
+//! where `S` is the shortest-path diameter and a *word* is `O(log n)` bits.
+//!
+//! # Crate layout
+//!
+//! * [`hierarchy`] — the sampled level hierarchy `A_0 ⊇ A_1 ⊇ … ⊇ A_{k-1}`
+//!   shared by the centralized and distributed constructions.
+//! * [`sketch`] — the sketch data structure `L(u)` (pivots, bunch, distances)
+//!   and its word-size accounting.
+//! * [`centralized`] — the centralized Thorup–Zwick construction, used as the
+//!   correctness baseline the distributed algorithm is compared against.
+//! * [`distributed`] — the paper's contribution: the phased modified
+//!   Bellman–Ford construction (Algorithm 2), the known-`S` synchronizer of
+//!   Section 3.2 and the ECHO/COMPLETE termination detection of Section 3.3.
+//! * [`query`] — distance estimation from two sketches (Lemma 3.2 and the
+//!   slack/degrading variants).
+//! * [`slack`] — Section 4: ε-density nets, 3-stretch slack sketches,
+//!   (ε, k)-CDG sketches, and gracefully degrading sketches.
+//! * [`eval`] — stretch evaluation harness (worst-case / average /
+//!   percentiles, slack-aware variants) used by the experiment harness.
+//! * [`baseline`] — exact-oracle and landmark baselines for comparison.
+//!
+//! # Quick start
+//!
+//! ```
+//! use dsketch::prelude::*;
+//! use netgraph::generators::{erdos_renyi, GeneratorConfig};
+//!
+//! // A 64-node random network with weighted edges.
+//! let graph = erdos_renyi(64, 0.1, GeneratorConfig::uniform(7, 1, 20));
+//!
+//! // Build Thorup–Zwick sketches (k = 3 ⇒ stretch ≤ 5) with the
+//! // distributed CONGEST construction.
+//! let params = TzParams::new(3).with_seed(42);
+//! let result = DistributedTz::run(&graph, &params, DistributedTzConfig::default());
+//!
+//! // Estimate the distance between two nodes from their sketches alone.
+//! let estimate = estimate_distance(
+//!     &result.sketches.sketch(netgraph::NodeId(0)),
+//!     &result.sketches.sketch(netgraph::NodeId(40)),
+//! ).expect("nodes are connected");
+//! let exact = netgraph::shortest_path::dijkstra(&graph, netgraph::NodeId(0))
+//!     .distance(netgraph::NodeId(40));
+//! assert!(estimate >= exact);
+//! assert!(estimate <= 5 * exact);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod centralized;
+pub mod distributed;
+pub mod error;
+pub mod eval;
+pub mod hierarchy;
+pub mod query;
+pub mod sketch;
+pub mod slack;
+
+/// Convenient re-exports of the most common types.
+pub mod prelude {
+    pub use crate::centralized::CentralizedTz;
+    pub use crate::distributed::{DistributedTz, DistributedTzConfig, SyncMode, TzBuildResult};
+    pub use crate::error::SketchError;
+    pub use crate::eval::{evaluate_sketches, StretchReport};
+    pub use crate::hierarchy::{Hierarchy, TzParams};
+    pub use crate::query::{estimate_distance, estimate_distance_slack};
+    pub use crate::sketch::{Sketch, SketchSet};
+    pub use crate::slack::cdg::{CdgParams, CdgSketchSet, DistributedCdg};
+    pub use crate::slack::degrading::{DegradingParams, DegradingSketchSet, DistributedDegrading};
+    pub use crate::slack::density_net::DensityNet;
+    pub use crate::slack::three_stretch::{DistributedThreeStretch, ThreeStretchSketchSet};
+}
+
+pub use prelude::*;

@@ -1,0 +1,167 @@
+//! 3-stretch sketches with ε-slack (Theorem 4.3).
+//!
+//! The construction is: sample an ε-density net `N` (Lemma 4.2), then run the
+//! k-source distributed Bellman–Ford with the net nodes as sources so every
+//! node learns its distance to *every* net node.  The sketch of `u` is the
+//! list `{(w, d(u, w)) : w ∈ N}` — `O((1/ε) log n)` words — and the estimate
+//! for a pair `(u, v)` is `min_{w ∈ N} d(u, w) + d(w, v)`, which is at most
+//! `3 · d(u, v)` whenever `v` is ε-far from `u`.
+
+use crate::error::SketchError;
+use crate::query::estimate_distance_slack;
+use crate::sketch::{Sketch, SketchSet};
+use crate::slack::density_net::DensityNet;
+use congest_sim::programs::bellman_ford::KSourceBellmanFord;
+use congest_sim::{CongestConfig, Network, RunStats};
+use netgraph::{Distance, Graph, NodeId};
+
+/// Result of the Theorem 4.3 construction.
+#[derive(Debug, Clone)]
+pub struct ThreeStretchSketchSet {
+    /// The sampled density net.
+    pub net: DensityNet,
+    /// Per-node sketches: every node stores its distance to every net node.
+    /// (Represented with the shared [`Sketch`] type using a single level.)
+    pub sketches: SketchSet,
+    /// Simulation cost of the construction.
+    pub stats: RunStats,
+}
+
+impl ThreeStretchSketchSet {
+    /// Estimate `d(u, v)` from the two nodes' sketches.
+    pub fn estimate(&self, u: NodeId, v: NodeId) -> Result<Distance, SketchError> {
+        estimate_distance_slack(self.sketches.sketch(u), self.sketches.sketch(v))
+    }
+
+    /// Maximum sketch size in words.
+    pub fn max_words(&self) -> usize {
+        self.sketches.max_words()
+    }
+}
+
+/// Builder for Theorem 4.3 sketches.
+pub struct DistributedThreeStretch;
+
+impl DistributedThreeStretch {
+    /// Run the distributed construction on `graph` with slack `eps`.
+    pub fn run(
+        graph: &Graph,
+        eps: f64,
+        seed: u64,
+        congest: CongestConfig,
+        max_rounds: u64,
+    ) -> Result<ThreeStretchSketchSet, SketchError> {
+        let n = graph.num_nodes();
+        let net = DensityNet::sample_nonempty(n, eps, seed)?;
+        let mut network = Network::new(graph, congest, |u| {
+            KSourceBellmanFord::new(u, net.contains(u))
+        });
+        let outcome = network.run_until_quiescent(max_rounds);
+        if !outcome.completed {
+            return Err(SketchError::RoundLimitExceeded { limit: max_rounds });
+        }
+
+        let sketches: Vec<Sketch> = network
+            .programs()
+            .iter()
+            .map(|p| {
+                let mut sketch = Sketch::new(p.node(), 1);
+                let mut best: Option<(NodeId, Distance)> = None;
+                for (&net_node, &dist) in p.distances() {
+                    sketch.insert_bunch(net_node, 0, dist);
+                    if best.is_none_or(|(_, d)| dist < d) {
+                        best = Some((net_node, dist));
+                    }
+                }
+                if let Some((node, dist)) = best {
+                    sketch.set_pivot(0, node, dist);
+                }
+                sketch
+            })
+            .collect();
+
+        Ok(ThreeStretchSketchSet {
+            net,
+            sketches: SketchSet::new(sketches),
+            stats: outcome.stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slack::is_eps_far;
+    use netgraph::apsp::DistanceTable;
+    use netgraph::generators::{erdos_renyi, grid, GeneratorConfig};
+
+    fn check_slack_stretch(graph: &Graph, eps: f64, seed: u64) {
+        let table = DistanceTable::exact(graph);
+        let sketches =
+            DistributedThreeStretch::run(graph, eps, seed, CongestConfig::strict(), u64::MAX)
+                .unwrap();
+        for (u, v, exact) in table.pairs() {
+            let est = sketches.estimate(u, v).unwrap();
+            assert!(est >= exact, "underestimate for ({u},{v})");
+            if is_eps_far(&table, u, v, eps) {
+                assert!(
+                    est <= 3 * exact,
+                    "slack stretch violated for eps-far pair ({u},{v}): est {est}, exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stretch_three_with_slack_on_random_graph() {
+        let g = erdos_renyi(80, 0.08, GeneratorConfig::uniform(3, 1, 20));
+        check_slack_stretch(&g, 0.3, 4);
+    }
+
+    #[test]
+    fn stretch_three_with_slack_on_grid() {
+        let g = grid(9, 9, GeneratorConfig::uniform(5, 1, 10));
+        check_slack_stretch(&g, 0.25, 8);
+    }
+
+    #[test]
+    fn sketch_size_tracks_net_size() {
+        let g = erdos_renyi(150, 0.06, GeneratorConfig::uniform(9, 1, 15));
+        let result =
+            DistributedThreeStretch::run(&g, 0.3, 2, CongestConfig::strict(), u64::MAX).unwrap();
+        // Every sketch stores one entry per reachable net node: 2 words each,
+        // plus 2 pivot words.
+        let expected = 2 * result.net.len() + 2;
+        assert!(result.max_words() <= expected);
+        assert!(result.max_words() >= result.net.len());
+    }
+
+    #[test]
+    fn distances_to_net_nodes_are_exact() {
+        let g = grid(6, 6, GeneratorConfig::uniform(7, 1, 6));
+        let table = DistanceTable::exact(&g);
+        let result =
+            DistributedThreeStretch::run(&g, 0.4, 3, CongestConfig::strict(), u64::MAX).unwrap();
+        for u in g.nodes() {
+            let sketch = result.sketches.sketch(u);
+            for &w in result.net.members() {
+                assert_eq!(sketch.bunch_distance(w), Some(table.distance(u, w)));
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_epsilon_is_rejected() {
+        let g = grid(3, 3, GeneratorConfig::unit(1));
+        assert!(
+            DistributedThreeStretch::run(&g, 0.0, 1, CongestConfig::default(), 1000).is_err()
+        );
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        let g = grid(8, 8, GeneratorConfig::unit(1));
+        let err = DistributedThreeStretch::run(&g, 0.2, 1, CongestConfig::default(), 1);
+        assert!(matches!(err, Err(SketchError::RoundLimitExceeded { .. })));
+    }
+}

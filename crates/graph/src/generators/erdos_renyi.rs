@@ -1,0 +1,145 @@
+//! Erdős–Rényi random graphs, `G(n, p)` and `G(n, m)` variants.
+
+use super::{connect_components, GeneratorConfig};
+use crate::csr::Graph;
+use crate::GraphBuilder;
+use rand::Rng;
+
+/// `G(n, p)`: each of the `n(n-1)/2` possible edges is present independently
+/// with probability `p`.  The result is then augmented (if necessary) with a
+/// minimal set of connecting edges so the returned graph is connected.
+///
+/// For `p = c/n` with `c > 1` the augmentation is almost always tiny, so the
+/// degree distribution is essentially unchanged.
+pub fn erdos_renyi(n: usize, p: f64, config: GeneratorConfig) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let mut rng = config.rng();
+    let mut builder = GraphBuilder::new(n);
+    let mut edge_list: Vec<(usize, usize)> = Vec::new();
+
+    if p > 0.0 {
+        // Geometric skipping (Batagelj–Brandes): iterate over the implicit
+        // edge enumeration and skip ahead by geometrically distributed gaps.
+        // O(n + m) instead of O(n^2) when p is small.
+        let log_q = (1.0 - p).ln();
+        let mut v: i64 = 1;
+        let mut w: i64 = -1;
+        let n_i = n as i64;
+        while v < n_i {
+            let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let skip = if p >= 1.0 { 0 } else { (r.ln() / log_q).floor() as i64 };
+            w += 1 + skip;
+            while w >= v && v < n_i {
+                w -= v;
+                v += 1;
+            }
+            if v < n_i {
+                let (u, t) = (w as usize, v as usize);
+                builder.add_edge_idx(u, t, config.weights.sample(&mut rng));
+                edge_list.push((u, t));
+            }
+        }
+    }
+
+    connect_components(&mut builder, &mut rng, config.weights, &edge_list);
+    builder.build()
+}
+
+/// `G(n, m)`: exactly `m` distinct edges chosen uniformly at random (then
+/// connected as in [`erdos_renyi`]).
+pub fn erdos_renyi_gnm(n: usize, m: usize, config: GeneratorConfig) -> Graph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(
+        m <= max_edges,
+        "cannot place {m} edges in a simple graph on {n} nodes (max {max_edges})"
+    );
+    let mut rng = config.rng();
+    let mut builder = GraphBuilder::new(n);
+    let mut chosen = std::collections::BTreeSet::new();
+    let mut edge_list = Vec::with_capacity(m);
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if chosen.insert(key) {
+            builder.add_edge_idx(key.0, key.1, config.weights.sample(&mut rng));
+            edge_list.push(key);
+        }
+    }
+    connect_components(&mut builder, &mut rng, config.weights, &edge_list);
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::is_connected;
+
+    #[test]
+    fn gnp_is_connected_and_roughly_right_density() {
+        let n = 200;
+        let g = erdos_renyi(n, 8.0 / n as f64, GeneratorConfig::unit(17));
+        assert_eq!(g.num_nodes(), n);
+        assert!(is_connected(&g));
+        // Expected edges ~ n*8/2 = 800; allow wide tolerance.
+        assert!(g.num_edges() > 500, "too sparse: {}", g.num_edges());
+        assert!(g.num_edges() < 1200, "too dense: {}", g.num_edges());
+    }
+
+    #[test]
+    fn gnp_deterministic_for_fixed_seed() {
+        let a = erdos_renyi(100, 0.05, GeneratorConfig::unit(5));
+        let b = erdos_renyi(100, 0.05, GeneratorConfig::unit(5));
+        assert_eq!(a.num_edges(), b.num_edges());
+        let ea: Vec<_> = a.undirected_edges().collect();
+        let eb: Vec<_> = b.undirected_edges().collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn gnp_different_seeds_differ() {
+        let a = erdos_renyi(100, 0.05, GeneratorConfig::unit(5));
+        let b = erdos_renyi(100, 0.05, GeneratorConfig::unit(6));
+        let ea: Vec<_> = a.undirected_edges().collect();
+        let eb: Vec<_> = b.undirected_edges().collect();
+        assert_ne!(ea, eb);
+    }
+
+    #[test]
+    fn gnp_zero_probability_still_connected() {
+        let g = erdos_renyi(10, 0.0, GeneratorConfig::unit(3));
+        assert!(is_connected(&g));
+        assert_eq!(g.num_edges(), 9); // exactly a connecting tree/path
+    }
+
+    #[test]
+    fn gnp_full_probability_is_complete() {
+        let n = 20;
+        let g = erdos_renyi(n, 1.0, GeneratorConfig::unit(3));
+        assert_eq!(g.num_edges(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = erdos_renyi_gnm(50, 120, GeneratorConfig::uniform(9, 1, 10));
+        // connect_components may add a few extra edges
+        assert!(g.num_edges() >= 120);
+        assert!(g.num_edges() <= 120 + 50);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn gnm_too_many_edges_panics() {
+        erdos_renyi_gnm(4, 100, GeneratorConfig::unit(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn gnp_invalid_probability_panics() {
+        erdos_renyi(10, 1.5, GeneratorConfig::unit(1));
+    }
+}

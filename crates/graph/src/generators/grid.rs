@@ -1,0 +1,115 @@
+//! Grid and torus topologies: structured overlays with `S = Θ(√n)`.
+
+use super::GeneratorConfig;
+use crate::csr::Graph;
+use crate::GraphBuilder;
+
+/// `rows × cols` 2-D grid (4-neighborhood, no wraparound).
+pub fn grid(rows: usize, cols: usize, config: GeneratorConfig) -> Graph {
+    assert!(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+    let mut rng = config.rng();
+    let n = rows * cols;
+    let mut builder = GraphBuilder::with_capacity(n, 2 * n);
+    let idx = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                builder.add_edge_idx(idx(r, c), idx(r, c + 1), config.weights.sample(&mut rng));
+            }
+            if r + 1 < rows {
+                builder.add_edge_idx(idx(r, c), idx(r + 1, c), config.weights.sample(&mut rng));
+            }
+        }
+    }
+    builder.build()
+}
+
+/// `rows × cols` 2-D torus (grid with wraparound edges).
+pub fn torus(rows: usize, cols: usize, config: GeneratorConfig) -> Graph {
+    assert!(
+        rows >= 3 && cols >= 3,
+        "torus needs at least 3x3 to avoid parallel wrap edges"
+    );
+    let mut rng = config.rng();
+    let n = rows * cols;
+    let mut builder = GraphBuilder::with_capacity(n, 2 * n);
+    let idx = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            builder.add_edge_idx(
+                idx(r, c),
+                idx(r, (c + 1) % cols),
+                config.weights.sample(&mut rng),
+            );
+            builder.add_edge_idx(
+                idx(r, c),
+                idx((r + 1) % rows, c),
+                config.weights.sample(&mut rng),
+            );
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diameter::diameters;
+    use crate::generators::is_connected;
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(4, 5, GeneratorConfig::unit(1));
+        assert_eq!(g.num_nodes(), 20);
+        // edges: 4*(5-1) horizontal + (4-1)*5 vertical = 16 + 15 = 31
+        assert_eq!(g.num_edges(), 31);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn grid_diameter_is_manhattan() {
+        let g = grid(4, 4, GeneratorConfig::unit(1));
+        let d = diameters(&g);
+        assert_eq!(d.hop_diameter, 6); // (4-1)+(4-1)
+        assert_eq!(d.shortest_path_diameter, 6);
+    }
+
+    #[test]
+    fn single_row_grid_is_path() {
+        let g = grid(1, 7, GeneratorConfig::unit(1));
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(diameters(&g).hop_diameter, 6);
+    }
+
+    #[test]
+    fn torus_counts_and_degree() {
+        let g = torus(4, 4, GeneratorConfig::unit(1));
+        assert_eq!(g.num_nodes(), 16);
+        assert_eq!(g.num_edges(), 32); // 2 per node
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4);
+        }
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn torus_diameter_halves_grid() {
+        let g = torus(6, 6, GeneratorConfig::unit(1));
+        assert_eq!(diameters(&g).hop_diameter, 6); // 3 + 3
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3x3")]
+    fn small_torus_panics() {
+        torus(2, 5, GeneratorConfig::unit(1));
+    }
+
+    #[test]
+    fn weighted_grid_deterministic() {
+        let a = grid(5, 5, GeneratorConfig::uniform(3, 1, 9));
+        let b = grid(5, 5, GeneratorConfig::uniform(3, 1, 9));
+        let ea: Vec<_> = a.undirected_edges().collect();
+        let eb: Vec<_> = b.undirected_edges().collect();
+        assert_eq!(ea, eb);
+    }
+}

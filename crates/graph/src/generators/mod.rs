@@ -1,0 +1,269 @@
+//! Synthetic network topologies used by the experiment harness.
+//!
+//! The paper's theorems hold for *all* weighted graphs, with round complexity
+//! parameterized by the shortest-path diameter `S`.  To exercise the full
+//! range of that parameter the harness uses several families:
+//!
+//! | family | S behaviour | motivation in the paper |
+//! |---|---|---|
+//! | [`erdos_renyi`] | `S = O(log n)` w.h.p. | Internet/P2P-like expanders (Section 1) |
+//! | [`random_geometric`] | `S = Θ(√n)` | wireless / proximity overlays |
+//! | [`grid`] / torus | `S = Θ(√n)` | structured overlays, worst-ish case for Bellman–Ford |
+//! | [`ring`] | `S = Θ(n)` | adversarial high-S case (round bounds are tight in S) |
+//! | [`tree`] | `S = Θ(log n)`..`Θ(n)` | hierarchical overlays |
+//! | [`preferential`] | power-law degrees | social/P2P networks (Section 2.1) |
+//! | [`waxman`] | Internet-like locality | classic Internet topology model |
+//!
+//! Every generator takes an explicit RNG seed and a [`WeightModel`]; all
+//! generators guarantee a *connected* graph (the paper assumes connectivity)
+//! either by construction or by augmenting with a connecting spanning
+//! structure.
+
+use crate::csr::{Graph, NodeId};
+use crate::union_find::UnionFind;
+use crate::{GraphBuilder, Weight};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+mod erdos_renyi;
+mod geometric;
+mod grid;
+mod preferential;
+mod ring;
+mod tree;
+mod waxman;
+
+pub use erdos_renyi::{erdos_renyi, erdos_renyi_gnm};
+pub use geometric::random_geometric;
+pub use grid::{grid, torus};
+pub use preferential::preferential_attachment;
+pub use ring::{ring, ring_with_chords};
+pub use tree::{balanced_tree, random_tree};
+pub use waxman::waxman;
+
+/// How edge weights are assigned by the generators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightModel {
+    /// Every edge has weight 1 (unweighted network; `S == D`).
+    Unit,
+    /// Weights drawn uniformly from `[lo, hi]` (inclusive).
+    UniformRange {
+        /// Smallest possible weight (must be ≥ 1 to keep `S` well behaved).
+        lo: Weight,
+        /// Largest possible weight.
+        hi: Weight,
+    },
+    /// Heavy-tailed weights: `ceil(scale / u)` where `u ~ Uniform(0, 1]`,
+    /// clamped to `[1, cap]`.  Produces a few very heavy edges, which widens
+    /// the gap between hop-shortest and weight-shortest paths (S vs D).
+    HeavyTail {
+        /// Scale of the distribution; typical weights are around `scale`.
+        scale: Weight,
+        /// Upper clamp on generated weights.
+        cap: Weight,
+    },
+}
+
+impl WeightModel {
+    /// Draw one edge weight.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Weight {
+        match *self {
+            WeightModel::Unit => 1,
+            WeightModel::UniformRange { lo, hi } => {
+                assert!(lo <= hi, "UniformRange requires lo <= hi");
+                rng.gen_range(lo..=hi)
+            }
+            WeightModel::HeavyTail { scale, cap } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..=1.0);
+                let w = (scale as f64 / u).ceil() as u128;
+                (w.min(cap as u128).max(1)) as Weight
+            }
+        }
+    }
+}
+
+/// Shared parameters for all generators.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// RNG seed; identical seeds produce identical graphs.
+    pub seed: u64,
+    /// Edge-weight model.
+    pub weights: WeightModel,
+}
+
+impl GeneratorConfig {
+    /// Unit weights with the given seed.
+    pub fn unit(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            weights: WeightModel::Unit,
+        }
+    }
+
+    /// Uniform weights in `[lo, hi]` with the given seed.
+    pub fn uniform(seed: u64, lo: Weight, hi: Weight) -> Self {
+        GeneratorConfig {
+            seed,
+            weights: WeightModel::UniformRange { lo, hi },
+        }
+    }
+
+    fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+}
+
+/// Add the fewest edges needed to make the graph described by `builder`
+/// connected: components are linked in index order with fresh random-weight
+/// edges between uniformly chosen representatives.
+///
+/// Returns the number of edges added.
+pub(crate) fn connect_components<R: Rng>(
+    builder: &mut GraphBuilder,
+    rng: &mut R,
+    weights: WeightModel,
+    existing_edges: &[(usize, usize)],
+) -> usize {
+    let n = builder.num_nodes();
+    if n == 0 {
+        return 0;
+    }
+    let mut uf = UnionFind::new(n);
+    for &(u, v) in existing_edges {
+        uf.union(u, v);
+    }
+    if uf.num_sets() <= 1 {
+        return 0;
+    }
+    // Collect one representative per component, in node order.
+    let mut reps: Vec<usize> = Vec::new();
+    let mut seen_roots = std::collections::BTreeSet::new();
+    for v in 0..n {
+        let root = uf.find(v);
+        if seen_roots.insert(root) {
+            reps.push(v);
+        }
+    }
+    let mut added = 0;
+    for window in reps.windows(2) {
+        let (a, b) = (window[0], window[1]);
+        if !uf.connected(a, b) {
+            builder.add_edge_idx(a, b, weights.sample(rng));
+            uf.union(a, b);
+            added += 1;
+        }
+    }
+    added
+}
+
+/// Convenience: build a named standard suite of test graphs for the
+/// experiment harness.  Returns `(name, graph)` pairs.
+pub fn standard_suite(n: usize, seed: u64) -> Vec<(&'static str, Graph)> {
+    let side = (n as f64).sqrt().round() as usize;
+    vec![
+        (
+            "erdos_renyi_unit",
+            erdos_renyi(n, 8.0 / n as f64, GeneratorConfig::unit(seed)),
+        ),
+        (
+            "erdos_renyi_weighted",
+            erdos_renyi(n, 8.0 / n as f64, GeneratorConfig::uniform(seed, 1, 100)),
+        ),
+        ("grid", grid(side, side, GeneratorConfig::uniform(seed, 1, 10))),
+        ("ring", ring(n, GeneratorConfig::unit(seed))),
+        (
+            "preferential",
+            preferential_attachment(n, 3, GeneratorConfig::uniform(seed, 1, 50)),
+        ),
+    ]
+}
+
+/// Verify a generated graph is connected (used in debug assertions and
+/// tests).
+pub fn is_connected(graph: &Graph) -> bool {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return true;
+    }
+    let hops = crate::shortest_path::bfs_hops(graph, NodeId(0));
+    hops.iter().all(|&h| h != usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_model_unit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(WeightModel::Unit.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn weight_model_uniform_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = WeightModel::UniformRange { lo: 3, hi: 9 };
+        for _ in 0..200 {
+            let w = m.sample(&mut rng);
+            assert!((3..=9).contains(&w));
+        }
+    }
+
+    #[test]
+    fn weight_model_heavy_tail_clamped() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = WeightModel::HeavyTail { scale: 10, cap: 1000 };
+        for _ in 0..500 {
+            let w = m.sample(&mut rng);
+            assert!((1..=1000).contains(&w));
+        }
+    }
+
+    #[test]
+    fn generator_config_constructors() {
+        let c = GeneratorConfig::unit(5);
+        assert_eq!(c.seed, 5);
+        assert_eq!(c.weights, WeightModel::Unit);
+        let c = GeneratorConfig::uniform(6, 1, 10);
+        assert_eq!(c.weights, WeightModel::UniformRange { lo: 1, hi: 10 });
+    }
+
+    #[test]
+    fn standard_suite_is_connected() {
+        for (name, g) in standard_suite(64, 11) {
+            assert!(is_connected(&g), "{name} should be connected");
+            assert!(g.num_nodes() >= 60, "{name} too small: {}", g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn connect_components_links_everything() {
+        let mut b = GraphBuilder::new(6);
+        // Two components: {0,1}, {2,3}; 4 and 5 isolated.
+        b.add_edge_idx(0, 1, 1);
+        b.add_edge_idx(2, 3, 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let added = connect_components(
+            &mut b,
+            &mut rng,
+            WeightModel::Unit,
+            &[(0, 1), (2, 3)],
+        );
+        assert_eq!(added, 3); // 4 components -> 3 connecting edges
+        let g = b.build();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn connect_components_noop_when_connected() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_idx(0, 1, 1);
+        b.add_edge_idx(1, 2, 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let added = connect_components(&mut b, &mut rng, WeightModel::Unit, &[(0, 1), (1, 2)]);
+        assert_eq!(added, 0);
+    }
+}

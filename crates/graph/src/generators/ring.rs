@@ -1,0 +1,108 @@
+//! Ring topologies: the adversarial high-`S` case (`S = Θ(n)`).
+//!
+//! Rings matter for this paper because the round complexity of every
+//! construction scales linearly in the shortest-path diameter `S`; a ring is
+//! the simplest family where `S` grows linearly with `n`, so it exposes the
+//! `S` term in Theorem 1.1 that expander-like graphs hide.
+
+use super::GeneratorConfig;
+use crate::csr::Graph;
+use crate::GraphBuilder;
+use rand::Rng;
+
+/// Simple cycle on `n ≥ 3` nodes.
+pub fn ring(n: usize, config: GeneratorConfig) -> Graph {
+    assert!(n >= 3, "ring needs at least 3 nodes");
+    let mut rng = config.rng();
+    let mut builder = GraphBuilder::with_capacity(n, n);
+    for i in 0..n {
+        builder.add_edge_idx(i, (i + 1) % n, config.weights.sample(&mut rng));
+    }
+    builder.build()
+}
+
+/// Ring plus `num_chords` random chords.
+///
+/// With unit weights a few chords collapse the hop diameter while — if the
+/// chords are given large weights — the *shortest-path* diameter stays
+/// `Θ(n)`.  This is exactly the `D ≪ S` regime discussed in Section 2.1,
+/// where sketch-based queries beat on-demand Bellman–Ford most decisively.
+pub fn ring_with_chords(
+    n: usize,
+    num_chords: usize,
+    chord_weight: crate::Weight,
+    config: GeneratorConfig,
+) -> Graph {
+    assert!(n >= 4, "ring_with_chords needs at least 4 nodes");
+    let mut rng = config.rng();
+    let mut builder = GraphBuilder::with_capacity(n, n + num_chords);
+    for i in 0..n {
+        builder.add_edge_idx(i, (i + 1) % n, config.weights.sample(&mut rng));
+    }
+    let mut placed = 0;
+    let mut attempts = 0;
+    while placed < num_chords && attempts < num_chords * 20 + 100 {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        // Skip self-loops and existing ring edges.
+        if u == v || (u + 1) % n == v || (v + 1) % n == u {
+            continue;
+        }
+        builder.add_edge_idx(u, v, chord_weight);
+        placed += 1;
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diameter::diameters;
+    use crate::generators::is_connected;
+
+    #[test]
+    fn ring_structure() {
+        let g = ring(8, GeneratorConfig::unit(1));
+        assert_eq!(g.num_nodes(), 8);
+        assert_eq!(g.num_edges(), 8);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 2);
+        }
+        assert!(is_connected(&g));
+        assert_eq!(diameters(&g).hop_diameter, 4);
+    }
+
+    #[test]
+    fn ring_diameter_scales_linearly() {
+        let g = ring(40, GeneratorConfig::unit(1));
+        assert_eq!(diameters(&g).shortest_path_diameter, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_panics() {
+        ring(2, GeneratorConfig::unit(1));
+    }
+
+    #[test]
+    fn chords_shrink_hop_diameter_but_not_sp_diameter() {
+        // Unit ring edges, very heavy chords: D drops, S stays n/2.
+        let n = 32;
+        let plain = ring(n, GeneratorConfig::unit(7));
+        let chorded = ring_with_chords(n, 16, 10_000, GeneratorConfig::unit(7));
+        let dp = diameters(&plain);
+        let dc = diameters(&chorded);
+        assert!(dc.hop_diameter <= dp.hop_diameter);
+        assert_eq!(dc.shortest_path_diameter, n / 2);
+        assert!(dc.hop_diameter < dc.shortest_path_diameter);
+    }
+
+    #[test]
+    fn chorded_ring_has_requested_extra_edges() {
+        let g = ring_with_chords(20, 5, 3, GeneratorConfig::unit(2));
+        assert!(g.num_edges() >= 20);
+        assert!(g.num_edges() <= 25);
+        assert!(is_connected(&g));
+    }
+}

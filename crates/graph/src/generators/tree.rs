@@ -1,0 +1,91 @@
+//! Tree topologies: hierarchical overlays.
+
+use super::GeneratorConfig;
+use crate::csr::Graph;
+use crate::GraphBuilder;
+use rand::Rng;
+
+/// Complete `arity`-ary tree on `n` nodes (node `i > 0` attaches to parent
+/// `(i - 1) / arity`).
+pub fn balanced_tree(n: usize, arity: usize, config: GeneratorConfig) -> Graph {
+    assert!(n >= 1, "tree needs at least 1 node");
+    assert!(arity >= 1, "arity must be at least 1");
+    let mut rng = config.rng();
+    let mut builder = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        let parent = (i - 1) / arity;
+        builder.add_edge_idx(i, parent, config.weights.sample(&mut rng));
+    }
+    builder.build()
+}
+
+/// Uniform random recursive tree: node `i` attaches to a uniformly random
+/// earlier node.  Expected depth `Θ(log n)`.
+pub fn random_tree(n: usize, config: GeneratorConfig) -> Graph {
+    assert!(n >= 1, "tree needs at least 1 node");
+    let mut rng = config.rng();
+    let mut builder = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        builder.add_edge_idx(i, parent, config.weights.sample(&mut rng));
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diameter::diameters;
+    use crate::generators::is_connected;
+
+    #[test]
+    fn balanced_tree_structure() {
+        let g = balanced_tree(15, 2, GeneratorConfig::unit(1));
+        assert_eq!(g.num_nodes(), 15);
+        assert_eq!(g.num_edges(), 14);
+        assert!(is_connected(&g));
+        // Complete binary tree of 15 nodes has depth 3, diameter 6.
+        assert_eq!(diameters(&g).hop_diameter, 6);
+    }
+
+    #[test]
+    fn unary_balanced_tree_is_path() {
+        let g = balanced_tree(10, 1, GeneratorConfig::unit(1));
+        assert_eq!(diameters(&g).hop_diameter, 9);
+    }
+
+    #[test]
+    fn random_tree_is_tree_and_connected() {
+        let g = random_tree(100, GeneratorConfig::uniform(3, 1, 5));
+        assert_eq!(g.num_edges(), 99);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn random_tree_depth_is_moderate() {
+        let g = random_tree(512, GeneratorConfig::unit(9));
+        let d = diameters(&g).hop_diameter;
+        // Random recursive trees have diameter O(log n); 512 nodes should be
+        // far below, say, 60.
+        assert!(d < 60, "random recursive tree unexpectedly deep: {d}");
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let g = balanced_tree(1, 2, GeneratorConfig::unit(1));
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+        let g = random_tree(1, GeneratorConfig::unit(1));
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn deterministic_random_tree() {
+        let a = random_tree(50, GeneratorConfig::unit(4));
+        let b = random_tree(50, GeneratorConfig::unit(4));
+        assert_eq!(
+            a.undirected_edges().collect::<Vec<_>>(),
+            b.undirected_edges().collect::<Vec<_>>()
+        );
+    }
+}

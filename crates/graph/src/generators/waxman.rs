@@ -1,0 +1,89 @@
+//! Waxman random graphs: the classic Internet-topology model.
+//!
+//! Nodes are placed uniformly in the unit square and each pair `(u, v)` is
+//! connected independently with probability `alpha * exp(-d(u,v) / (beta * L))`
+//! where `L` is the maximum possible Euclidean distance (`√2`).  Compared to
+//! random geometric graphs, Waxman graphs mix local and long-range edges,
+//! which is the structure the paper's motivating applications (Internet-scale
+//! distance estimation) actually have.
+
+use super::{connect_components, GeneratorConfig, WeightModel};
+use crate::csr::Graph;
+use crate::GraphBuilder;
+use rand::Rng;
+
+/// Waxman random graph with parameters `alpha` (overall density) and `beta`
+/// (long-edge propensity), both in `(0, 1]`.
+pub fn waxman(n: usize, alpha: f64, beta: f64, config: GeneratorConfig) -> Graph {
+    assert!(n >= 1);
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1]");
+    let mut rng = config.rng();
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)))
+        .collect();
+    let l = 2f64.sqrt();
+
+    let mut builder = GraphBuilder::new(n);
+    let mut edge_list = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = points[i].0 - points[j].0;
+            let dy = points[i].1 - points[j].1;
+            let d = (dx * dx + dy * dy).sqrt();
+            let p = alpha * (-d / (beta * l)).exp();
+            if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                let w = match config.weights {
+                    WeightModel::Unit => ((d * 1000.0).ceil() as u64).max(1),
+                    other => other.sample(&mut rng),
+                };
+                builder.add_edge_idx(i, j, w);
+                edge_list.push((i, j));
+            }
+        }
+    }
+    connect_components(&mut builder, &mut rng, config.weights, &edge_list);
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::is_connected;
+
+    #[test]
+    fn waxman_is_connected() {
+        let g = waxman(150, 0.4, 0.3, GeneratorConfig::unit(13));
+        assert_eq!(g.num_nodes(), 150);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn waxman_density_increases_with_alpha() {
+        let sparse = waxman(100, 0.1, 0.2, GeneratorConfig::unit(3));
+        let dense = waxman(100, 0.9, 0.2, GeneratorConfig::unit(3));
+        assert!(dense.num_edges() > sparse.num_edges());
+    }
+
+    #[test]
+    fn waxman_deterministic() {
+        let a = waxman(60, 0.5, 0.5, GeneratorConfig::unit(7));
+        let b = waxman(60, 0.5, 0.5, GeneratorConfig::unit(7));
+        assert_eq!(
+            a.undirected_edges().collect::<Vec<_>>(),
+            b.undirected_edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn waxman_invalid_alpha_panics() {
+        waxman(10, 0.0, 0.5, GeneratorConfig::unit(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in")]
+    fn waxman_invalid_beta_panics() {
+        waxman(10, 0.5, 1.5, GeneratorConfig::unit(1));
+    }
+}

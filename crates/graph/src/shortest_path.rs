@@ -1,0 +1,246 @@
+//! Exact (centralized) shortest-path routines: Dijkstra, multi-source
+//! Dijkstra, and unweighted BFS.
+//!
+//! These are the *ground truth* against which the sketches' distance
+//! estimates are compared when measuring stretch, and they are also used to
+//! compute the shortest-path diameter `S` and the hop diameter `D` in
+//! [`crate::diameter`].
+
+use crate::csr::{Graph, NodeId};
+use crate::{add_dist, Distance, INFINITY};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source or multi-source shortest-path computation.
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    /// `dist[v]` — distance from the (closest) source to `v`, or [`INFINITY`].
+    pub dist: Vec<Distance>,
+    /// `parent[v]` — predecessor of `v` on a shortest path, or `None` for
+    /// sources and unreachable nodes.
+    pub parent: Vec<Option<NodeId>>,
+    /// `hops[v]` — number of edges on the discovered shortest path to `v`
+    /// (ties broken toward fewer hops), or `usize::MAX` if unreachable.
+    pub hops: Vec<usize>,
+    /// `source[v]` — which source `v` was reached from (meaningful for
+    /// multi-source runs), or `None` if unreachable.
+    pub source: Vec<Option<NodeId>>,
+}
+
+impl ShortestPathTree {
+    /// Distance to `v`.
+    pub fn distance(&self, v: NodeId) -> Distance {
+        self.dist[v.index()]
+    }
+
+    /// True if `v` was reached.
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.dist[v.index()] != INFINITY
+    }
+
+    /// Reconstruct the node sequence of a shortest path from the source set
+    /// to `v` (inclusive of both endpoints).  Returns `None` if unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reached(v) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Dijkstra from a single source.
+pub fn dijkstra(graph: &Graph, source: NodeId) -> ShortestPathTree {
+    multi_source_dijkstra(graph, &[source])
+}
+
+/// Dijkstra from a set of sources: every source starts at distance 0 and the
+/// result records, for every node, the distance to (and identity of) the
+/// closest source.  Ties between equal-length paths are broken toward fewer
+/// hops, then toward the smaller predecessor id, which makes the output
+/// deterministic.
+pub fn multi_source_dijkstra(graph: &Graph, sources: &[NodeId]) -> ShortestPathTree {
+    let n = graph.num_nodes();
+    let mut dist = vec![INFINITY; n];
+    let mut parent = vec![None; n];
+    let mut hops = vec![usize::MAX; n];
+    let mut source = vec![None; n];
+
+    // Binary heap keyed on (distance, hops, node) so that pops are
+    // deterministic and hop counts are the minimum among shortest paths.
+    let mut heap: BinaryHeap<Reverse<(Distance, usize, u32)>> = BinaryHeap::new();
+    for &s in sources {
+        if dist[s.index()] == 0 && source[s.index()].is_some() {
+            continue; // duplicate source
+        }
+        dist[s.index()] = 0;
+        hops[s.index()] = 0;
+        source[s.index()] = Some(s);
+        heap.push(Reverse((0, 0, s.0)));
+    }
+
+    while let Some(Reverse((d, h, u))) = heap.pop() {
+        let ui = u as usize;
+        if d > dist[ui] || (d == dist[ui] && h > hops[ui]) {
+            continue; // stale entry
+        }
+        let u_node = NodeId(u);
+        let (targets, weights) = graph.neighbor_slices(u_node);
+        for (&v, &w) in targets.iter().zip(weights.iter()) {
+            let vi = v.index();
+            let nd = add_dist(d, w);
+            let nh = h + 1;
+            let better = nd < dist[vi] || (nd == dist[vi] && nh < hops[vi]);
+            if better {
+                dist[vi] = nd;
+                hops[vi] = nh;
+                parent[vi] = Some(u_node);
+                source[vi] = source[ui];
+                heap.push(Reverse((nd, nh, v.0)));
+            }
+        }
+    }
+
+    ShortestPathTree {
+        dist,
+        parent,
+        hops,
+        source,
+    }
+}
+
+/// Unweighted BFS hop distances from `source`.
+pub fn bfs_hops(graph: &Graph, source: NodeId) -> Vec<usize> {
+    let n = graph.num_nodes();
+    let mut hops = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    hops[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let hu = hops[u.index()];
+        for e in graph.neighbors(u) {
+            if hops[e.to.index()] == usize::MAX {
+                hops[e.to.index()] = hu + 1;
+                queue.push_back(e.to);
+            }
+        }
+    }
+    hops
+}
+
+/// Distance from `u` to the closest node of `set` (the paper's `d(u, A)`),
+/// computed exactly.  Returns [`INFINITY`] if `set` is empty or unreachable.
+pub fn distance_to_set(graph: &Graph, u: NodeId, set: &[NodeId]) -> Distance {
+    if set.is_empty() {
+        return INFINITY;
+    }
+    let tree = multi_source_dijkstra(graph, set);
+    tree.distance(u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Path graph 0 - 1 - 2 - 3 with weights 1, 2, 3.
+    fn path_graph() -> Graph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge_idx(0, 1, 1);
+        b.add_edge_idx(1, 2, 2);
+        b.add_edge_idx(2, 3, 3);
+        b.build()
+    }
+
+    /// Weighted graph where the shortest path is not the fewest-hop path.
+    ///
+    /// 0 --10-- 2,  0 --1-- 1 --1-- 2
+    fn detour_graph() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_idx(0, 2, 10);
+        b.add_edge_idx(0, 1, 1);
+        b.add_edge_idx(1, 2, 1);
+        b.build()
+    }
+
+    #[test]
+    fn dijkstra_on_path() {
+        let g = path_graph();
+        let t = dijkstra(&g, NodeId(0));
+        assert_eq!(t.dist, vec![0, 1, 3, 6]);
+        assert_eq!(t.hops, vec![0, 1, 2, 3]);
+        assert_eq!(t.path_to(NodeId(3)).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn dijkstra_prefers_lighter_detour() {
+        let g = detour_graph();
+        let t = dijkstra(&g, NodeId(0));
+        assert_eq!(t.distance(NodeId(2)), 2);
+        assert_eq!(t.hops[2], 2);
+        assert_eq!(
+            t.path_to(NodeId(2)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn unreachable_nodes_are_infinite() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge_idx(0, 1, 1);
+        // 2, 3 disconnected (3 fully isolated, 2 isolated too)
+        let g = b.build();
+        let t = dijkstra(&g, NodeId(0));
+        assert_eq!(t.distance(NodeId(2)), INFINITY);
+        assert!(!t.reached(NodeId(3)));
+        assert_eq!(t.path_to(NodeId(3)), None);
+    }
+
+    #[test]
+    fn multi_source_picks_closest_source() {
+        let g = path_graph();
+        let t = multi_source_dijkstra(&g, &[NodeId(0), NodeId(3)]);
+        assert_eq!(t.dist, vec![0, 1, 3, 0]);
+        assert_eq!(t.source[1], Some(NodeId(0)));
+        assert_eq!(t.source[2], Some(NodeId(3)));
+    }
+
+    #[test]
+    fn multi_source_with_duplicate_sources() {
+        let g = path_graph();
+        let t = multi_source_dijkstra(&g, &[NodeId(1), NodeId(1)]);
+        assert_eq!(t.dist, vec![1, 0, 2, 5]);
+    }
+
+    #[test]
+    fn bfs_hops_ignores_weights() {
+        let g = detour_graph();
+        let hops = bfs_hops(&g, NodeId(0));
+        assert_eq!(hops, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn distance_to_set_basic() {
+        let g = path_graph();
+        assert_eq!(distance_to_set(&g, NodeId(2), &[NodeId(0), NodeId(3)]), 3);
+        assert_eq!(distance_to_set(&g, NodeId(0), &[NodeId(0)]), 0);
+        assert_eq!(distance_to_set(&g, NodeId(0), &[]), INFINITY);
+    }
+
+    #[test]
+    fn dijkstra_zero_weight_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_idx(0, 1, 0);
+        b.add_edge_idx(1, 2, 0);
+        let g = b.build();
+        let t = dijkstra(&g, NodeId(0));
+        assert_eq!(t.dist, vec![0, 0, 0]);
+        assert_eq!(t.hops, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests over the graph substrate.
+//!
+//! These check metric and structural invariants that the sketch layer relies
+//! on: symmetry of the CSR representation, the triangle inequality of exact
+//! distances, the D ≤ S relation between diameters, and the determinism of
+//! the seeded generators.
+
+use netgraph::apsp::DistanceTable;
+use netgraph::diameter::diameters;
+use netgraph::generators::{
+    erdos_renyi, grid, preferential_attachment, random_tree, ring, GeneratorConfig,
+};
+use netgraph::shortest_path::{dijkstra, multi_source_dijkstra};
+use netgraph::{Graph, GraphBuilder, NodeId, INFINITY};
+use proptest::prelude::*;
+
+/// Strategy: a connected random graph with 4..=40 nodes, weighted 1..=20.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..=40, 0u64..10_000, 1usize..4).prop_map(|(n, seed, family)| match family {
+        0 => erdos_renyi(n, 0.2, GeneratorConfig::uniform(seed, 1, 20)),
+        1 => random_tree(n, GeneratorConfig::uniform(seed, 1, 20)),
+        2 => ring(n.max(3), GeneratorConfig::uniform(seed, 1, 20)),
+        _ => preferential_attachment(n.max(4), 2, GeneratorConfig::uniform(seed, 1, 20)),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csr_adjacency_is_symmetric(g in arb_graph()) {
+        for u in g.nodes() {
+            for e in g.neighbors(u) {
+                prop_assert_eq!(g.edge_weight(e.to, u), Some(e.weight));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_distances_satisfy_triangle_inequality(g in arb_graph()) {
+        let table = DistanceTable::exact(&g);
+        prop_assume!(table.is_connected());
+        let n = g.num_nodes();
+        // Sample a handful of triples rather than all n^3.
+        for a in 0..n.min(8) {
+            for b in 0..n.min(8) {
+                for c in 0..n.min(8) {
+                    let (a, b, c) = (NodeId::from_index(a), NodeId::from_index(b), NodeId::from_index(c));
+                    prop_assert!(
+                        table.distance(a, c) <= table.distance(a, b) + table.distance(b, c)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distances_are_symmetric_and_zero_on_diagonal(g in arb_graph()) {
+        let table = DistanceTable::exact(&g);
+        for u in g.nodes() {
+            prop_assert_eq!(table.distance(u, u), 0);
+            for v in g.nodes() {
+                prop_assert_eq!(table.distance(u, v), table.distance(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn hop_diameter_never_exceeds_sp_diameter(g in arb_graph()) {
+        let d = diameters(&g);
+        prop_assume!(d.hop_diameter != usize::MAX);
+        prop_assert!(d.hop_diameter <= d.shortest_path_diameter);
+        prop_assert!(d.shortest_path_diameter < g.num_nodes());
+    }
+
+    #[test]
+    fn dijkstra_distance_bounded_by_any_edge_path(g in arb_graph()) {
+        // d(u, v) <= w(u, x) + d(x, v) for every edge (u, x): single-step
+        // Bellman relaxation is a fixed point of Dijkstra's output.
+        let src = NodeId(0);
+        let tree = dijkstra(&g, src);
+        for u in g.nodes() {
+            if tree.dist[u.index()] == INFINITY { continue; }
+            for e in g.neighbors(u) {
+                if tree.dist[e.to.index()] == INFINITY { continue; }
+                prop_assert!(tree.dist[e.to.index()] <= tree.dist[u.index()] + e.weight);
+                prop_assert!(tree.dist[u.index()] <= tree.dist[e.to.index()] + e.weight);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_is_min_of_single_sources(g in arb_graph()) {
+        let n = g.num_nodes();
+        let sources = vec![NodeId(0), NodeId::from_index(n / 2), NodeId::from_index(n - 1)];
+        let multi = multi_source_dijkstra(&g, &sources);
+        let singles: Vec<_> = sources.iter().map(|&s| dijkstra(&g, s)).collect();
+        for v in g.nodes() {
+            let expected = singles.iter().map(|t| t.distance(v)).min().unwrap();
+            prop_assert_eq!(multi.distance(v), expected);
+        }
+    }
+
+    #[test]
+    fn path_reconstruction_has_correct_total_weight(g in arb_graph()) {
+        let src = NodeId(0);
+        let tree = dijkstra(&g, src);
+        for v in g.nodes() {
+            if let Some(path) = tree.path_to(v) {
+                prop_assert_eq!(path[0], src);
+                prop_assert_eq!(*path.last().unwrap(), v);
+                let mut total = 0u64;
+                for pair in path.windows(2) {
+                    let w = g.edge_weight(pair[0], pair[1]);
+                    prop_assert!(w.is_some());
+                    total += w.unwrap();
+                }
+                prop_assert_eq!(total, tree.distance(v));
+            }
+        }
+    }
+
+    #[test]
+    fn builder_dedup_is_idempotent(edges in prop::collection::vec((0u32..12, 0u32..12, 1u64..50), 0..60)) {
+        let mut b1 = GraphBuilder::new(12);
+        let mut b2 = GraphBuilder::new(12);
+        for &(u, v, w) in &edges {
+            b1.add_edge(NodeId(u), NodeId(v), w);
+            // b2 gets every edge twice; the built graphs must be identical.
+            b2.add_edge(NodeId(u), NodeId(v), w);
+            b2.add_edge(NodeId(v), NodeId(u), w);
+        }
+        let g1 = b1.build();
+        let g2 = b2.build();
+        prop_assert_eq!(g1.num_edges(), g2.num_edges());
+        prop_assert_eq!(
+            g1.undirected_edges().collect::<Vec<_>>(),
+            g2.undirected_edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn generators_are_deterministic(seed in 0u64..5000, n in 8usize..40) {
+        let a = erdos_renyi(n, 0.15, GeneratorConfig::uniform(seed, 1, 9));
+        let b = erdos_renyi(n, 0.15, GeneratorConfig::uniform(seed, 1, 9));
+        prop_assert_eq!(
+            a.undirected_edges().collect::<Vec<_>>(),
+            b.undirected_edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn grid_distance_is_at_least_manhattan_times_min_weight(rows in 2usize..6, cols in 2usize..6, seed in 0u64..100) {
+        let g = grid(rows, cols, GeneratorConfig::uniform(seed, 1, 5));
+        let table = DistanceTable::exact(&g);
+        let idx = |r: usize, c: usize| NodeId::from_index(r * cols + c);
+        for r in 0..rows {
+            for c in 0..cols {
+                let manhattan = r + c;
+                prop_assert!(table.distance(idx(0, 0), idx(r, c)) >= manhattan as u64);
+                prop_assert!(table.distance(idx(0, 0), idx(r, c)) <= 5 * manhattan as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Quickstart: build distributed Thorup–Zwick sketches on a random weighted
+//! network and answer distance queries from the sketches alone.
+//!
+//! ```text
+//! cargo run --release --bin quickstart -- --nodes 256 --k 3 --seed 7
+//! ```
+
+use dsketch::prelude::*;
+use dsketch_examples::{arg_parse, print_table};
+use netgraph::diameter::estimate_diameters;
+use netgraph::generators::{erdos_renyi, GeneratorConfig};
+use netgraph::shortest_path::dijkstra;
+use netgraph::NodeId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = arg_parse(&args, "nodes", 256);
+    let k: usize = arg_parse(&args, "k", 3);
+    let seed: u64 = arg_parse(&args, "seed", 7);
+
+    println!("== distance-sketch quickstart ==");
+    println!("network: Erdős–Rényi, n = {n}, average degree ≈ 8, weights 1..100");
+    let graph = erdos_renyi(n, 8.0 / n as f64, GeneratorConfig::uniform(seed, 1, 100));
+    let diam = estimate_diameters(&graph, 4, seed);
+    println!(
+        "|E| = {}, hop diameter ≥ {}, shortest-path diameter ≥ {}",
+        graph.num_edges(),
+        diam.hop_diameter,
+        diam.shortest_path_diameter
+    );
+
+    println!("\nbuilding Thorup–Zwick sketches with k = {k} (stretch ≤ {}) ...", 2 * k - 1);
+    let params = TzParams::new(k).with_seed(seed);
+    let result = DistributedTz::run(&graph, &params, DistributedTzConfig::default());
+    println!(
+        "construction: {} rounds, {} messages, {} words on the wire",
+        result.stats.rounds, result.stats.messages, result.stats.words
+    );
+    println!(
+        "sketch size: max {} words, average {:.1} words (exact oracle would need {} words/node)",
+        result.sketches.max_words(),
+        result.sketches.avg_words(),
+        n - 1
+    );
+
+    // Answer a few queries from the sketches and compare with exact distances.
+    println!("\nsample queries (estimate vs exact):");
+    let mut rows = Vec::new();
+    let mut worst: f64 = 1.0;
+    for i in 0..8u32 {
+        let u = NodeId((i * 37) % n as u32);
+        let v = NodeId((i * 113 + 59) % n as u32);
+        if u == v {
+            continue;
+        }
+        let est = estimate_distance(result.sketches.sketch(u), result.sketches.sketch(v))
+            .expect("connected graph");
+        let exact = dijkstra(&graph, u).distance(v);
+        let stretch = est as f64 / exact.max(1) as f64;
+        worst = worst.max(stretch);
+        rows.push(vec![
+            u.to_string(),
+            v.to_string(),
+            est.to_string(),
+            exact.to_string(),
+            format!("{stretch:.2}"),
+        ]);
+    }
+    print_table(&["u", "v", "estimate", "exact", "stretch"], &rows);
+    println!(
+        "\nworst sampled stretch {:.2} (guarantee: ≤ {})",
+        worst,
+        2 * k - 1
+    );
+}

@@ -1,0 +1,1 @@
+//! Integration-test crate: the tests live under `tests/tests/`.

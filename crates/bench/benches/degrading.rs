@@ -4,35 +4,28 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dsketch::prelude::*;
-use dsketch::slack::degrading::{DegradingParams, DistributedDegrading};
 use dsketch_bench::workloads::{Workload, WorkloadSpec};
 use std::hint::black_box;
 
 fn bench_degrading(c: &mut Criterion) {
     let spec = WorkloadSpec::new(Workload::ErdosRenyi, 96, 17);
     let graph = spec.build();
+    let config = SchemeConfig::default().with_seed(3);
 
     let mut group = c.benchmark_group("e5_degrading");
     group.sample_size(10);
     group.bench_function("layered_degrading", |b| {
+        let scheme = DegradingScheme::new().with_max_k(3);
         b.iter(|| {
-            let s = DistributedDegrading::run(
-                &graph,
-                DegradingParams::new(3).with_max_k(3),
-                DistributedTzConfig::default(),
-            )
-            .unwrap();
-            black_box(s.stats.rounds)
+            let outcome = scheme.build(&graph, &config).unwrap();
+            black_box(outcome.stats.rounds)
         })
     });
     group.bench_function("plain_tz_log_n", |b| {
+        let scheme = ThorupZwickScheme::log_n(graph.num_nodes());
         b.iter(|| {
-            let result = DistributedTz::run(
-                &graph,
-                &TzParams::log_n(graph.num_nodes()).with_seed(3),
-                DistributedTzConfig::default(),
-            );
-            black_box(result.stats.rounds)
+            let outcome = scheme.build(&graph, &config).unwrap();
+            black_box(outcome.stats.rounds)
         })
     });
     group.finish();

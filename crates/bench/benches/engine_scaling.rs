@@ -7,7 +7,6 @@
 //! simulation harness, i.e. the HPC-parallel ablation of the engine design.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use congest_sim::CongestConfig;
 use dsketch::prelude::*;
 use dsketch_bench::workloads::{Workload, WorkloadSpec};
 use std::hint::black_box;
@@ -15,7 +14,7 @@ use std::hint::black_box;
 fn bench_engine_threads(c: &mut Criterion) {
     let spec = WorkloadSpec::new(Workload::ErdosRenyi, 256, 42);
     let graph = spec.build();
-    let params = TzParams::new(3).with_seed(7);
+    let scheme = ThorupZwickScheme::new(3);
 
     let mut group = c.benchmark_group("engine_thread_scaling");
     group.sample_size(10);
@@ -24,16 +23,15 @@ fn bench_engine_threads(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("threads={threads}")),
             &threads,
             |b, &threads| {
-                let config = DistributedTzConfig {
-                    congest: CongestConfig {
+                let config = SchemeConfig::default()
+                    .with_seed(7)
+                    .with_congest(CongestConfig {
                         num_threads: threads,
                         ..Default::default()
-                    },
-                    ..Default::default()
-                };
+                    });
                 b.iter(|| {
-                    let result = DistributedTz::run(&graph, &params, config);
-                    black_box(result.stats.messages)
+                    let outcome = scheme.build(&graph, &config).unwrap();
+                    black_box(outcome.stats.messages)
                 })
             },
         );

@@ -2,9 +2,9 @@
 //! (the online operation the whole paper optimizes for) versus an on-demand
 //! simulated Bellman–Ford, plus the query cost of the slack variants.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use congest_sim::programs::bellman_ford::BellmanFordProgram;
-use congest_sim::{CongestConfig, Network};
+use congest_sim::Network;
+use criterion::{criterion_group, criterion_main, Criterion};
 use dsketch::prelude::*;
 use dsketch::query::estimate_distance_best_common;
 use dsketch_bench::workloads::{Workload, WorkloadSpec};
@@ -14,11 +14,10 @@ use std::hint::black_box;
 fn bench_query(c: &mut Criterion) {
     let spec = WorkloadSpec::new(Workload::ErdosRenyi, 192, 13);
     let graph = spec.build();
-    let result = DistributedTz::run(
-        &graph,
-        &TzParams::new(3).with_seed(5),
-        DistributedTzConfig::default(),
-    );
+    let outcome = ThorupZwickScheme::new(3)
+        .build(&graph, &SchemeConfig::default().with_seed(5))
+        .unwrap();
+    let oracle = &outcome.sketches;
     let pairs: Vec<(NodeId, NodeId)> = (0..64u32)
         .map(|i| (NodeId(i % 192), NodeId((i * 73 + 17) % 192)))
         .filter(|(u, v)| u != v)
@@ -29,8 +28,7 @@ fn bench_query(c: &mut Criterion) {
         b.iter(|| {
             let mut total = 0u64;
             for &(u, v) in &pairs {
-                total += estimate_distance(result.sketches.sketch(u), result.sketches.sketch(v))
-                    .unwrap();
+                total += oracle.estimate(u, v).unwrap();
             }
             black_box(total)
         })
@@ -40,8 +38,8 @@ fn bench_query(c: &mut Criterion) {
             let mut total = 0u64;
             for &(u, v) in &pairs {
                 total += estimate_distance_best_common(
-                    result.sketches.sketch(u),
-                    result.sketches.sketch(v),
+                    oracle.sketches.sketch(u),
+                    oracle.sketches.sketch(v),
                 )
                 .unwrap();
             }
@@ -54,8 +52,8 @@ fn bench_query(c: &mut Criterion) {
             let mut net = Network::new(&graph, CongestConfig::default(), |x| {
                 BellmanFordProgram::new(x, x == NodeId(0))
             });
-            let outcome = net.run_until_quiescent(u64::MAX);
-            black_box(outcome.stats.rounds)
+            let run = net.run_until_quiescent(u64::MAX);
+            black_box(run.stats.rounds)
         })
     });
     group.finish();

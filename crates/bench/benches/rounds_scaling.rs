@@ -10,25 +10,19 @@ use std::hint::black_box;
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("e10_rounds_scaling");
     group.sample_size(10);
+    let scheme = ThorupZwickScheme::new(2);
+    let config = SchemeConfig::default().with_seed(3);
     for family in [Workload::ErdosRenyi, Workload::Ring] {
         for n in [64usize, 128, 256] {
             let spec = WorkloadSpec::new(family, n, 77);
             let graph = spec.build();
             group.throughput(Throughput::Elements(graph.num_edges() as u64));
-            group.bench_with_input(
-                BenchmarkId::new(family.name(), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let result = DistributedTz::run(
-                            &graph,
-                            &TzParams::new(2).with_seed(3),
-                            DistributedTzConfig::default(),
-                        );
-                        black_box(result.stats.messages)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(family.name(), n), &n, |b, _| {
+                b.iter(|| {
+                    let outcome = scheme.build(&graph, &config).unwrap();
+                    black_box(outcome.stats.messages)
+                })
+            });
         }
     }
     group.finish();

@@ -2,9 +2,7 @@
 //! sketch construction cost as the slack parameter ε varies.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dsketch::distributed::DistributedTzConfig;
-use dsketch::slack::cdg::{CdgParams, DistributedCdg};
-use dsketch::slack::three_stretch::DistributedThreeStretch;
+use dsketch::prelude::*;
 use dsketch_bench::workloads::{Workload, WorkloadSpec};
 use std::hint::black_box;
 
@@ -19,16 +17,10 @@ fn bench_slack(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("eps={eps}")),
             &eps,
             |b, &eps| {
+                let builder = SketchBuilder::three_stretch(eps).seed(9);
                 b.iter(|| {
-                    let s = DistributedThreeStretch::run(
-                        &graph,
-                        eps,
-                        9,
-                        congest_sim::CongestConfig::default(),
-                        u64::MAX,
-                    )
-                    .unwrap();
-                    black_box(s.stats.rounds)
+                    let outcome = builder.build(&graph).unwrap();
+                    black_box(outcome.stats.rounds)
                 })
             },
         );
@@ -42,14 +34,10 @@ fn bench_slack(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("eps={eps}_k={k}")),
             &(eps, k),
             |b, &(eps, k)| {
+                let builder = SketchBuilder::cdg(eps, k).seed(3);
                 b.iter(|| {
-                    let s = DistributedCdg::run(
-                        &graph,
-                        CdgParams::new(eps, k).with_seed(3),
-                        DistributedTzConfig::default(),
-                    )
-                    .unwrap();
-                    black_box(s.stats.rounds)
+                    let outcome = builder.build(&graph).unwrap();
+                    black_box(outcome.stats.rounds)
                 })
             },
         );

@@ -18,19 +18,19 @@ fn bench_tz_construction(c: &mut Criterion) {
     let graph = spec.build();
 
     for k in [1usize, 2, 3, 4] {
-        let params = TzParams::new(k).with_seed(7);
+        let scheme = ThorupZwickScheme::new(k);
+        let config = SchemeConfig::default().with_seed(7);
         group.bench_with_input(BenchmarkId::new("distributed", k), &k, |b, _| {
             b.iter(|| {
-                let result =
-                    DistributedTz::run(&graph, &params, DistributedTzConfig::default());
-                black_box(result.stats.rounds)
+                let outcome = scheme.build(&graph, &config).unwrap();
+                black_box(outcome.stats.rounds)
             })
         });
         group.bench_with_input(BenchmarkId::new("centralized", k), &k, |b, _| {
             b.iter(|| {
                 let (h, _) = Hierarchy::sample_until_top_nonempty(
                     graph.num_nodes(),
-                    &params,
+                    &TzParams::new(k).with_seed(7),
                     500,
                 )
                 .unwrap();

@@ -9,19 +9,15 @@
 use crate::table::Table;
 use crate::workloads::{Workload, WorkloadSpec};
 use dsketch::baseline::LandmarkSketch;
-use dsketch::eval::{evaluate_pairs, evaluate_with_slack};
+use dsketch::eval::{evaluate_oracle_with_slack, evaluate_pairs};
 use dsketch::prelude::*;
-use dsketch::query::estimate_distance;
-use dsketch::slack::cdg::{CdgParams, DistributedCdg};
-use dsketch::slack::degrading::{DegradingParams, DistributedDegrading};
-use dsketch::slack::density_net::DensityNet;
-use dsketch::slack::three_stretch::DistributedThreeStretch;
 use netgraph::apsp::DistanceTable;
 use netgraph::{Graph, NodeId};
 
-/// The experiment identifiers, in DESIGN.md order.
-pub const EXPERIMENT_IDS: [&str; 10] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+/// The experiment identifiers, in DESIGN.md order (`e11` exercises the
+/// scheme-polymorphic API over every family).
+pub const EXPERIMENT_IDS: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
 ];
 
 /// The output of one experiment.
@@ -63,6 +59,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentResult> {
         "e8" => Some(e8_equivalence(quick)),
         "e9" => Some(e9_termination_overhead(quick)),
         "e10" => Some(e10_rounds_scaling(quick)),
+        "e11" => Some(e11_scheme_matrix(quick)),
         _ => None,
     }
 }
@@ -79,8 +76,15 @@ fn exact_or_sampled_pairs(graph: &Graph, seed: u64) -> Vec<(NodeId, NodeId, u64)
 fn e1_tradeoff(quick: bool) -> ExperimentResult {
     let n = if quick { 128 } else { 256 };
     let mut table = Table::new(&[
-        "workload", "k", "stretch bound", "worst stretch", "avg stretch",
-        "max words", "bound k·n^(1/k)·log n", "rounds", "messages",
+        "workload",
+        "k",
+        "stretch bound",
+        "worst stretch",
+        "avg stretch",
+        "max words",
+        "bound k·n^(1/k)·log n",
+        "rounds",
+        "messages",
     ]);
     for family in [Workload::ErdosRenyi, Workload::Grid] {
         let spec = WorkloadSpec::new(family, n, 42);
@@ -88,14 +92,10 @@ fn e1_tradeoff(quick: bool) -> ExperimentResult {
         let pairs = exact_or_sampled_pairs(&graph, 1);
         let max_k = if quick { 3 } else { 5 };
         for k in 1..=max_k {
-            let result = DistributedTz::run(
-                &graph,
-                &TzParams::new(k).with_seed(7),
-                DistributedTzConfig::default(),
-            );
-            let report = evaluate_pairs(&pairs, |u, v| {
-                estimate_distance(result.sketches.sketch(u), result.sketches.sketch(v))
-            });
+            let result = ThorupZwickScheme::new(k)
+                .build(&graph, &SchemeConfig::default().with_seed(7))
+                .expect("TZ construction");
+            let report = evaluate_pairs(&pairs, |u, v| result.sketches.estimate(u, v));
             let nn = graph.num_nodes() as f64;
             let size_bound = k as f64 * nn.powf(1.0 / k as f64) * nn.log2();
             table.push(vec![
@@ -126,7 +126,11 @@ fn e2_bunch_sizes(quick: bool) -> ExperimentResult {
     let spec = WorkloadSpec::new(Workload::ErdosRenyi, n, 11);
     let graph = spec.build();
     let mut table = Table::new(&[
-        "workload", "k", "E[|B(u)|] = k·n^(1/k)", "mean |B(u)|", "max |B(u)|",
+        "workload",
+        "k",
+        "E[|B(u)|] = k·n^(1/k)",
+        "mean |B(u)|",
+        "max |B(u)|",
         "tail bound O(k n^(1/k) ln n)",
     ]);
     for k in 2..=4usize {
@@ -165,22 +169,24 @@ fn e2_bunch_sizes(quick: bool) -> ExperimentResult {
 fn e3_three_stretch_slack(quick: bool) -> ExperimentResult {
     let n = if quick { 128 } else { 256 };
     let mut table = Table::new(&[
-        "workload", "eps", "|net|", "net bound (10/eps)ln n", "max words",
-        "worst stretch (eps-far)", "worst stretch (near)", "rounds",
+        "workload",
+        "eps",
+        "|net|",
+        "net bound (10/eps)ln n",
+        "max words",
+        "worst stretch (eps-far)",
+        "worst stretch (near)",
+        "rounds",
     ]);
     for family in [Workload::ErdosRenyi, Workload::Grid] {
         let spec = WorkloadSpec::new(family, n, 21);
         let graph = spec.build();
         for &eps in &[0.4, 0.2, 0.1] {
-            let sketches = DistributedThreeStretch::run(
-                &graph,
-                eps,
-                9,
-                congest_sim::CongestConfig::default(),
-                u64::MAX,
-            )
-            .unwrap();
-            let report = evaluate_with_slack(&graph, eps, |u, v| sketches.estimate(u, v));
+            let outcome = ThreeStretchScheme::new(eps)
+                .build(&graph, &SchemeConfig::default().with_seed(9))
+                .unwrap();
+            let sketches = &outcome.sketches;
+            let report = evaluate_oracle_with_slack(&graph, eps, sketches);
             table.push(vec![
                 spec.label(),
                 format!("{eps}"),
@@ -189,7 +195,7 @@ fn e3_three_stretch_slack(quick: bool) -> ExperimentResult {
                 sketches.max_words().to_string(),
                 format!("{:.2}", report.far.worst),
                 format!("{:.2}", report.near.worst),
-                sketches.stats.rounds.to_string(),
+                outcome.stats.rounds.to_string(),
             ]);
         }
     }
@@ -206,25 +212,33 @@ fn e3_three_stretch_slack(quick: bool) -> ExperimentResult {
 fn e4_cdg(quick: bool) -> ExperimentResult {
     let n = if quick { 128 } else { 256 };
     let mut table = Table::new(&[
-        "workload", "eps", "k", "stretch bound 8k−1", "worst stretch (eps-far)",
-        "max words", "rounds", "messages",
+        "workload",
+        "eps",
+        "k",
+        "stretch bound 8k−1",
+        "worst stretch (eps-far)",
+        "max words",
+        "rounds",
+        "messages",
     ]);
     for family in [Workload::ErdosRenyi, Workload::Grid] {
         let spec = WorkloadSpec::new(family, n, 33);
         let graph = spec.build();
         for &(eps, k) in &[(0.2, 1), (0.2, 2), (0.1, 2), (0.05, 3)] {
-            let params = CdgParams::new(eps, k).with_seed(3);
-            let result = DistributedCdg::run(&graph, params, DistributedTzConfig::default()).unwrap();
-            let report = evaluate_with_slack(&graph, eps, |u, v| result.estimate(u, v));
+            let outcome = CdgScheme::new(eps, k)
+                .build(&graph, &SchemeConfig::default().with_seed(3))
+                .unwrap();
+            let result = &outcome.sketches;
+            let report = evaluate_oracle_with_slack(&graph, eps, result);
             table.push(vec![
                 spec.label(),
                 format!("{eps}"),
                 k.to_string(),
-                params.stretch().to_string(),
+                result.params.stretch().to_string(),
                 format!("{:.2}", report.far.worst),
                 result.max_words().to_string(),
-                result.stats.rounds.to_string(),
-                result.stats.messages.to_string(),
+                outcome.stats.rounds.to_string(),
+                outcome.stats.messages.to_string(),
             ]);
         }
     }
@@ -241,18 +255,23 @@ fn e4_cdg(quick: bool) -> ExperimentResult {
 fn e5_degrading(quick: bool) -> ExperimentResult {
     let n = if quick { 96 } else { 192 };
     let mut table = Table::new(&[
-        "workload", "layers", "max words", "log^4 n reference", "worst stretch",
-        "O(log n) reference", "avg stretch", "rounds",
+        "workload",
+        "layers",
+        "max words",
+        "log^4 n reference",
+        "worst stretch",
+        "O(log n) reference",
+        "avg stretch",
+        "rounds",
     ]);
     for family in [Workload::ErdosRenyi, Workload::Grid, Workload::PowerLaw] {
         let spec = WorkloadSpec::new(family, n, 17);
         let graph = spec.build();
-        let sketches = DistributedDegrading::run(
-            &graph,
-            DegradingParams::new(3).with_max_k(3),
-            DistributedTzConfig::default(),
-        )
-        .unwrap();
+        let outcome = DegradingScheme::new()
+            .with_max_k(3)
+            .build(&graph, &SchemeConfig::default().with_seed(3))
+            .unwrap();
+        let sketches = &outcome.sketches;
         let pairs = exact_or_sampled_pairs(&graph, 2);
         let report = evaluate_pairs(&pairs, |u, v| sketches.estimate(u, v));
         let logn = (graph.num_nodes() as f64).log2();
@@ -264,7 +283,7 @@ fn e5_degrading(quick: bool) -> ExperimentResult {
             format!("{:.2}", report.worst),
             format!("{logn:.1}"),
             format!("{:.2}", report.average),
-            sketches.stats.rounds.to_string(),
+            outcome.stats.rounds.to_string(),
         ]);
     }
     ExperimentResult {
@@ -283,7 +302,11 @@ fn e6_density_net(quick: bool) -> ExperimentResult {
     let graph = spec.build();
     let table_exact = DistanceTable::exact(&graph);
     let mut table = Table::new(&[
-        "workload", "eps", "|N|", "bound (10/eps) ln n", "coverage violations",
+        "workload",
+        "eps",
+        "|N|",
+        "bound (10/eps) ln n",
+        "coverage violations",
     ]);
     for &eps in &[0.5, 0.3, 0.2, 0.1] {
         let net = DensityNet::sample_nonempty(graph.num_nodes(), eps, 7).unwrap();
@@ -312,8 +335,16 @@ fn e7_query_vs_ondemand(quick: bool) -> ExperimentResult {
 
     let n = if quick { 96 } else { 192 };
     let mut table = Table::new(&[
-        "workload", "D", "S", "on-demand rounds", "on-demand msgs", "exchange rounds",
-        "exchange msgs", "sketch words", "preprocessing rounds", "landmark words",
+        "workload",
+        "D",
+        "S",
+        "on-demand rounds",
+        "on-demand msgs",
+        "exchange rounds",
+        "exchange msgs",
+        "sketch words",
+        "preprocessing rounds",
+        "landmark words",
     ]);
     // The standard families plus the D ≪ S regime the paper emphasizes: a
     // ring whose heavy chords collapse the hop diameter while weighted
@@ -344,11 +375,9 @@ fn e7_query_vs_ondemand(quick: bool) -> ExperimentResult {
         let ondemand = net.run_until_quiescent(u64::MAX);
         // Preprocessed sketches, plus a fully simulated online exchange of
         // the farthest node's sketch back to node 0 (Section 2.1).
-        let result = DistributedTz::run(
-            &graph,
-            &TzParams::new(3).with_seed(5),
-            DistributedTzConfig::default(),
-        );
+        let result = ThorupZwickScheme::new(3)
+            .build(&graph, &SchemeConfig::default().with_seed(5))
+            .expect("TZ construction");
         let target = NodeId::from_index(graph.num_nodes() - 1);
         let (_, exchange_stats) = dsketch::distributed::run_sketch_exchange(
             &graph,
@@ -385,7 +414,11 @@ fn e7_query_vs_ondemand(quick: bool) -> ExperimentResult {
 fn e8_equivalence(quick: bool) -> ExperimentResult {
     let n = if quick { 96 } else { 160 };
     let mut table = Table::new(&[
-        "workload", "k", "nodes compared", "pivot mismatches", "bunch mismatches",
+        "workload",
+        "k",
+        "nodes compared",
+        "pivot mismatches",
+        "bunch mismatches",
     ]);
     for family in Workload::all() {
         let spec = WorkloadSpec::new(family, n, 51);
@@ -398,8 +431,9 @@ fn e8_equivalence(quick: bool) -> ExperimentResult {
             )
             .unwrap();
             let centralized = CentralizedTz::build(&graph, &h);
-            let distributed =
-                DistributedTz::run_with_hierarchy(&graph, h, DistributedTzConfig::default());
+            let distributed = ThorupZwickScheme::new(k)
+                .build_with_hierarchy(&graph, h, &SchemeConfig::default())
+                .expect("TZ construction");
             let mut pivot_mismatches = 0usize;
             let mut bunch_mismatches = 0usize;
             for u in graph.nodes() {
@@ -434,8 +468,14 @@ fn e8_equivalence(quick: bool) -> ExperimentResult {
 fn e9_termination_overhead(quick: bool) -> ExperimentResult {
     let n = if quick { 96 } else { 160 };
     let mut table = Table::new(&[
-        "workload", "k", "oracle rounds", "td rounds", "round overhead",
-        "oracle messages", "td messages", "message overhead",
+        "workload",
+        "k",
+        "oracle rounds",
+        "td rounds",
+        "round overhead",
+        "oracle messages",
+        "td messages",
+        "message overhead",
     ]);
     for family in [Workload::ErdosRenyi, Workload::Grid] {
         let spec = WorkloadSpec::new(family, n, 61);
@@ -447,22 +487,26 @@ fn e9_termination_overhead(quick: bool) -> ExperimentResult {
                 500,
             )
             .unwrap();
-            let oracle = DistributedTz::run_with_hierarchy(
-                &graph,
-                h.clone(),
-                DistributedTzConfig::default(),
-            );
-            let td = DistributedTz::run_with_hierarchy(
-                &graph,
-                h,
-                DistributedTzConfig::default().with_termination_detection(),
-            );
+            let scheme = ThorupZwickScheme::new(k);
+            let oracle = scheme
+                .build_with_hierarchy(&graph, h.clone(), &SchemeConfig::default())
+                .expect("TZ construction");
+            let td = scheme
+                .build_with_hierarchy(
+                    &graph,
+                    h,
+                    &SchemeConfig::default().with_termination_detection(),
+                )
+                .expect("TZ construction");
             table.push(vec![
                 spec.label(),
                 k.to_string(),
                 oracle.stats.rounds.to_string(),
                 td.stats.rounds.to_string(),
-                format!("{:.2}x", td.stats.rounds as f64 / oracle.stats.rounds.max(1) as f64),
+                format!(
+                    "{:.2}x",
+                    td.stats.rounds as f64 / oracle.stats.rounds.max(1) as f64
+                ),
                 oracle.stats.messages.to_string(),
                 td.stats.messages.to_string(),
                 format!(
@@ -475,7 +519,8 @@ fn e9_termination_overhead(quick: bool) -> ExperimentResult {
     ExperimentResult {
         id: "e9",
         title: "Overhead of Section 3.3 termination detection",
-        claim: "the ECHO/COMPLETE/START protocol at most doubles messages and adds O(D) rounds per \
+        claim:
+            "the ECHO/COMPLETE/START protocol at most doubles messages and adds O(D) rounds per \
                 phase relative to an idealized synchronizer (Section 3.3)",
         table,
     }
@@ -483,20 +528,28 @@ fn e9_termination_overhead(quick: bool) -> ExperimentResult {
 
 /// E10 — Theorem 3.8 scaling: rounds track S and n^{1/k}.
 fn e10_rounds_scaling(quick: bool) -> ExperimentResult {
-    let sizes: &[usize] = if quick { &[64, 128] } else { &[64, 128, 256, 512] };
+    let sizes: &[usize] = if quick {
+        &[64, 128]
+    } else {
+        &[64, 128, 256, 512]
+    };
     let k = 2usize;
     let mut table = Table::new(&[
-        "workload", "n", "S", "rounds", "rounds / (n^(1/k) S)", "messages", "messages / (|E| rounds)",
+        "workload",
+        "n",
+        "S",
+        "rounds",
+        "rounds / (n^(1/k) S)",
+        "messages",
+        "messages / (|E| rounds)",
     ]);
     for family in [Workload::ErdosRenyi, Workload::Grid, Workload::Ring] {
         for &n in sizes {
             let spec = WorkloadSpec::new(family, n, 77);
             let (graph, diam) = spec.build_with_diameters();
-            let result = DistributedTz::run(
-                &graph,
-                &TzParams::new(k).with_seed(3),
-                DistributedTzConfig::default(),
-            );
+            let result = ThorupZwickScheme::new(k)
+                .build(&graph, &SchemeConfig::default().with_seed(3))
+                .expect("TZ construction");
             let s = diam.shortest_path_diameter.max(1) as f64;
             let normalized =
                 result.stats.rounds as f64 / ((graph.num_nodes() as f64).powf(1.0 / k as f64) * s);
@@ -518,6 +571,64 @@ fn e10_rounds_scaling(quick: bool) -> ExperimentResult {
         title: "Round and message scaling in n and S",
         claim: "rounds grow as O(k n^{1/k} S log n) and messages as O(|E|) per round \
                 (Theorem 3.8); the normalized columns should stay bounded as n grows",
+        table,
+    }
+}
+
+/// E11 — the unified API: every scheme family, one code path.
+///
+/// Builds each [`SchemeSpec`] family through [`SketchBuilder`] and evaluates
+/// it through `Box<dyn DistanceOracle>`: the whole row — construction cost,
+/// label size, stretch distribution — is produced by scheme-agnostic code.
+/// This is the scenario-diverse comparison matrix the per-scheme entry
+/// points could not express.
+fn e11_scheme_matrix(quick: bool) -> ExperimentResult {
+    let n = if quick { 96 } else { 192 };
+    let mut table = Table::new(&[
+        "workload",
+        "scheme",
+        "stretch bound",
+        "worst stretch",
+        "avg stretch",
+        "failures",
+        "max words",
+        "avg words",
+        "rounds",
+        "messages",
+    ]);
+    for family in [Workload::ErdosRenyi, Workload::Grid, Workload::PowerLaw] {
+        let spec = WorkloadSpec::new(family, n, 91);
+        let graph = spec.build();
+        let pairs = exact_or_sampled_pairs(&graph, 4);
+        for scheme in SchemeSpec::all_families() {
+            let outcome = SketchBuilder::new(scheme)
+                .seed(13)
+                .build(&graph)
+                .expect("scheme construction");
+            let oracle = &outcome.sketches;
+            let report = evaluate_pairs(&pairs, |u, v| oracle.estimate(u, v));
+            table.push(vec![
+                spec.label(),
+                scheme.to_string(),
+                oracle
+                    .stretch_bound()
+                    .map_or("-".to_string(), |b| b.to_string()),
+                format!("{:.2}", report.worst),
+                format!("{:.2}", report.average),
+                report.failures.to_string(),
+                oracle.max_words().to_string(),
+                format!("{:.1}", oracle.avg_words()),
+                outcome.stats.rounds.to_string(),
+                outcome.stats.messages.to_string(),
+            ]);
+        }
+    }
+    ExperimentResult {
+        id: "e11",
+        title: "Scheme matrix: all four families through one oracle interface",
+        claim: "the four constructions are one family behind a build/query interface; \
+                slack schemes trade worst-case stretch on near pairs for far smaller labels \
+                (Sections 3–4)",
         table,
     }
 }
@@ -554,6 +665,34 @@ mod tests {
         for row in &result.table.rows {
             assert_eq!(row[3], "0", "pivot mismatch: {row:?}");
             assert_eq!(row[4], "0", "bunch mismatch: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e11_quick_covers_every_family_on_every_workload() {
+        let result = run_experiment("e11", true).unwrap();
+        assert_eq!(result.id, "e11");
+        // 3 workloads × 4 scheme families.
+        assert_eq!(result.table.len(), 12);
+        for scheme in SchemeSpec::all_families() {
+            let rows = result
+                .table
+                .rows
+                .iter()
+                .filter(|r| r[1] == scheme.to_string())
+                .count();
+            assert_eq!(rows, 3, "{scheme} should appear once per workload");
+        }
+        for row in &result.table.rows {
+            let worst: f64 = row[3].parse().unwrap();
+            let avg: f64 = row[4].parse().unwrap();
+            assert!(worst >= avg && avg >= 1.0, "stretch ordering: {row:?}");
+            // Thorup–Zwick must respect its bound over all pairs.
+            if row[1].starts_with("tz") {
+                let bound: f64 = row[2].parse().unwrap();
+                assert!(worst <= bound + 1e-9, "TZ bound violated: {row:?}");
+                assert_eq!(row[5], "0", "TZ queries never fail: {row:?}");
+            }
         }
     }
 }

@@ -5,9 +5,7 @@
 //! verbatim.
 
 use netgraph::diameter::{diameters, DiameterReport};
-use netgraph::generators::{
-    erdos_renyi, grid, preferential_attachment, ring, GeneratorConfig,
-};
+use netgraph::generators::{erdos_renyi, grid, preferential_attachment, ring, GeneratorConfig};
 use netgraph::Graph;
 
 /// The topology family of a workload.
@@ -75,11 +73,9 @@ impl WorkloadSpec {
                 grid(side, side, GeneratorConfig::uniform(self.seed, 1, 10))
             }
             Workload::Ring => ring(self.n, GeneratorConfig::unit(self.seed)),
-            Workload::PowerLaw => preferential_attachment(
-                self.n,
-                3,
-                GeneratorConfig::uniform(self.seed, 1, 100),
-            ),
+            Workload::PowerLaw => {
+                preferential_attachment(self.n, 3, GeneratorConfig::uniform(self.seed, 1, 100))
+            }
         }
     }
 
@@ -126,7 +122,10 @@ mod tests {
     #[test]
     fn labels_and_names() {
         assert_eq!(Workload::Grid.name(), "grid");
-        assert_eq!(WorkloadSpec::new(Workload::Ring, 64, 1).label(), "ring(n=64)");
+        assert_eq!(
+            WorkloadSpec::new(Workload::Ring, 64, 1).label(),
+            "ring(n=64)"
+        );
         assert_eq!(Workload::all().len(), 4);
     }
 

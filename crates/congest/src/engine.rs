@@ -154,8 +154,7 @@ impl<'g, P: NodeProgram> Network<'g, P> {
 
     /// True if all programs report done and no messages are in flight.
     pub fn is_quiescent(&self) -> bool {
-        self.programs.iter().all(|p| p.is_done())
-            && self.inboxes.iter().all(|i| i.is_empty())
+        self.programs.iter().all(|p| p.is_done()) && self.inboxes.iter().all(|i| i.is_empty())
     }
 
     /// Execute rounds until quiescence or until `max_rounds` rounds have been
@@ -224,7 +223,14 @@ impl<'g, P: NodeProgram> Network<'g, P> {
         if threads == 1 {
             for (i, program) in self.programs.iter_mut().enumerate() {
                 let inbox = std::mem::take(&mut self.inboxes[i]);
-                outboxes[i] = run_one(program, graph, NodeId::from_index(i), round, inbox, starting);
+                outboxes[i] = run_one(
+                    program,
+                    graph,
+                    NodeId::from_index(i),
+                    round,
+                    inbox,
+                    starting,
+                );
             }
             return outboxes;
         }
@@ -274,9 +280,7 @@ impl<'g, P: NodeProgram> Network<'g, P> {
             for (to, message) in outbox {
                 let edge_weight = match self.graph.edge_weight(u, to) {
                     Some(w) => w,
-                    None => panic!(
-                        "CONGEST violation: {u} attempted to send to non-neighbor {to}"
-                    ),
+                    None => panic!("CONGEST violation: {u} attempted to send to non-neighbor {to}"),
                 };
                 let count = match dest_counts.iter_mut().find(|(d, _)| *d == to) {
                     Some((_, c)) => {
@@ -429,7 +433,9 @@ mod tests {
     #[test]
     fn sequential_and_parallel_execution_agree() {
         let g = ring(31, GeneratorConfig::unit(2));
-        let mut seq = Network::new(&g, CongestConfig::sequential(), |u| Flood::new(u, NodeId(3)));
+        let mut seq = Network::new(&g, CongestConfig::sequential(), |u| {
+            Flood::new(u, NodeId(3))
+        });
         let mut par = Network::new(
             &g,
             CongestConfig {

@@ -90,7 +90,8 @@ impl ConvergecastProgram {
 
     /// The final aggregate, if this node has learned it yet.
     pub fn result(&self) -> Option<ConvergecastResult> {
-        self.result.map(|aggregate| ConvergecastResult { aggregate })
+        self.result
+            .map(|aggregate| ConvergecastResult { aggregate })
     }
 
     fn try_finish_up(&mut self, ctx: &mut NodeContext<'_, AggregationMessage>) {

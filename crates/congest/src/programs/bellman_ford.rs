@@ -89,7 +89,9 @@ impl NodeProgram for BellmanFordProgram {
         // Announce an improvement (Algorithm 1, line 5).
         if self.pending_announce {
             self.pending_announce = false;
-            ctx.broadcast(DistanceAnnouncement { distance: self.dist });
+            ctx.broadcast(DistanceAnnouncement {
+                distance: self.dist,
+            });
         }
     }
 

@@ -105,8 +105,8 @@ impl BfsTreeProgram {
     }
 
     fn consider(&mut self, root: NodeId, hops_via_sender: u64, sender: NodeId) {
-        let better = root < self.best_root
-            || (root == self.best_root && hops_via_sender < self.best_hops);
+        let better =
+            root < self.best_root || (root == self.best_root && hops_via_sender < self.best_hops);
         if better {
             self.best_root = root;
             self.best_hops = hops_via_sender;

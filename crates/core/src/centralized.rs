@@ -210,7 +210,10 @@ mod tests {
         for (u, v, exact) in table.pairs() {
             let est = estimate_distance(tz.sketches.sketch(u), tz.sketches.sketch(v))
                 .expect("connected graph must produce an estimate");
-            assert!(est >= exact, "estimate {est} below exact {exact} for ({u},{v})");
+            assert!(
+                est >= exact,
+                "estimate {est} below exact {exact} for ({u},{v})"
+            );
             assert!(
                 est <= stretch * exact,
                 "stretch violated for ({u},{v}): est {est}, exact {exact}, bound {}",

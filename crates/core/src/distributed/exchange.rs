@@ -178,9 +178,10 @@ impl SketchExchangeProgram {
             ExchangeMessage::Request { .. } => {}
         }
         if self.reply_complete && self.estimate.is_none() {
-            if let (Some(local), Some(remote)) =
-                (self.local_sketch_of_requester.as_ref(), self.received.as_ref())
-            {
+            if let (Some(local), Some(remote)) = (
+                self.local_sketch_of_requester.as_ref(),
+                self.received.as_ref(),
+            ) {
                 self.estimate = estimate_distance(local, remote).ok();
             }
         }
@@ -291,19 +292,17 @@ pub fn run_sketch_exchange(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::distributed::{DistributedTz, DistributedTzConfig};
-    use crate::hierarchy::TzParams;
+    use crate::scheme::{SchemeConfig, SketchScheme, ThorupZwickScheme};
     use congest_sim::CongestConfig;
     use netgraph::generators::{erdos_renyi, grid, ring_with_chords, GeneratorConfig};
     use netgraph::shortest_path::dijkstra;
 
     fn build_sketches(graph: &netgraph::Graph, k: usize) -> crate::sketch::SketchSet {
-        DistributedTz::run(
-            graph,
-            &TzParams::new(k).with_seed(7),
-            DistributedTzConfig::default(),
-        )
-        .sketches
+        ThorupZwickScheme::new(k)
+            .build(graph, &SchemeConfig::default().with_seed(7))
+            .unwrap()
+            .sketches
+            .sketches
     }
 
     #[test]
@@ -312,8 +311,7 @@ mod tests {
         let sketches = build_sketches(&g, 3);
         let (u, v) = (NodeId(5), NodeId(47));
         let local = estimate_distance(sketches.sketch(u), sketches.sketch(v)).unwrap();
-        let (remote, stats) =
-            run_sketch_exchange(&g, &sketches, u, v, CongestConfig::default());
+        let (remote, stats) = run_sketch_exchange(&g, &sketches, u, v, CongestConfig::default());
         assert_eq!(remote, Some(local));
         assert!(stats.rounds > 0);
     }
@@ -323,8 +321,7 @@ mod tests {
         let g = grid(10, 10, GeneratorConfig::uniform(2, 1, 5));
         let sketches = build_sketches(&g, 2);
         let (u, v) = (NodeId(0), NodeId(99));
-        let (estimate, stats) =
-            run_sketch_exchange(&g, &sketches, u, v, CongestConfig::default());
+        let (estimate, stats) = run_sketch_exchange(&g, &sketches, u, v, CongestConfig::default());
         assert!(estimate.is_some());
         let hops = netgraph::shortest_path::bfs_hops(&g, u)[v.index()] as u64;
         let entries = (sketches.sketch(v).bunch_size() + 2) as u64;
@@ -343,8 +340,7 @@ mod tests {
         let k = 3;
         let sketches = build_sketches(&g, k);
         for (u, v) in [(NodeId(0), NodeId(30)), (NodeId(7), NodeId(52))] {
-            let (estimate, _) =
-                run_sketch_exchange(&g, &sketches, u, v, CongestConfig::default());
+            let (estimate, _) = run_sketch_exchange(&g, &sketches, u, v, CongestConfig::default());
             let exact = dijkstra(&g, u).distance(v);
             let est = estimate.unwrap();
             assert!(est >= exact);
@@ -356,8 +352,13 @@ mod tests {
     fn self_query_costs_nothing() {
         let g = grid(4, 4, GeneratorConfig::unit(1));
         let sketches = build_sketches(&g, 2);
-        let (estimate, stats) =
-            run_sketch_exchange(&g, &sketches, NodeId(3), NodeId(3), CongestConfig::default());
+        let (estimate, stats) = run_sketch_exchange(
+            &g,
+            &sketches,
+            NodeId(3),
+            NodeId(3),
+            CongestConfig::default(),
+        );
         assert_eq!(estimate, Some(0));
         assert_eq!(stats.messages, 0);
     }

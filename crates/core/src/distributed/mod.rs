@@ -80,6 +80,10 @@ impl DistributedTzConfig {
 }
 
 /// Everything produced by one distributed construction.
+///
+/// Returned by the deprecated [`DistributedTz`] entry points; the
+/// [`crate::scheme::ThorupZwickScheme`] API returns the same data as a
+/// [`crate::scheme::BuildOutcome`] instead.
 #[derive(Debug, Clone)]
 pub struct TzBuildResult {
     /// The per-node labels.
@@ -97,51 +101,81 @@ pub struct TzBuildResult {
     pub tree_stats: Option<RunStats>,
 }
 
+/// Run the distributed Thorup–Zwick construction with an explicit
+/// hierarchy.  This is the crate-internal engine behind both
+/// [`crate::scheme::ThorupZwickScheme`] and the net-restricted CDG
+/// construction.
+pub(crate) fn build_with_hierarchy(
+    graph: &Graph,
+    hierarchy: Hierarchy,
+    config: DistributedTzConfig,
+) -> Result<TzBuildResult, SketchError> {
+    match config.sync {
+        SyncMode::GlobalOracle => run_global_oracle(graph, hierarchy, config),
+        SyncMode::TerminationDetection => run_termination_detection(graph, hierarchy, config),
+    }
+}
+
 /// Entry point for the distributed Thorup–Zwick construction.
+///
+/// Deprecated: every method has a [`crate::scheme`] equivalent that shares
+/// its configuration and result shape with the other three sketch families.
 pub struct DistributedTz;
 
 impl DistributedTz {
     /// Sample a hierarchy from `params` (re-sampling until the top level is
     /// non-empty, as the paper's high-probability analysis assumes) and run
     /// the distributed construction.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ThorupZwickScheme::new(k).build(graph, &config) or SketchBuilder::thorup_zwick(k)"
+    )]
     pub fn run(graph: &Graph, params: &TzParams, config: DistributedTzConfig) -> TzBuildResult {
+        #[allow(deprecated)]
         Self::try_run(graph, params, config).expect("distributed TZ construction failed")
     }
 
     /// Fallible variant of [`DistributedTz::run`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ThorupZwickScheme::new(k).build(graph, &config)"
+    )]
     pub fn try_run(
         graph: &Graph,
         params: &TzParams,
         config: DistributedTzConfig,
     ) -> Result<TzBuildResult, SketchError> {
         params.validate()?;
-        let (hierarchy, _) =
-            Hierarchy::sample_until_top_nonempty(graph.num_nodes(), params, 1000)?;
-        Self::try_run_with_hierarchy(graph, hierarchy, config)
+        let (hierarchy, _) = Hierarchy::sample_until_top_nonempty(graph.num_nodes(), params, 1000)?;
+        build_with_hierarchy(graph, hierarchy, config)
     }
 
     /// Run the distributed construction with an explicitly provided
     /// hierarchy (used by the equivalence experiments, which hand the same
     /// hierarchy to the centralized construction).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ThorupZwickScheme::new(k).build_with_hierarchy(graph, hierarchy, &config)"
+    )]
     pub fn run_with_hierarchy(
         graph: &Graph,
         hierarchy: Hierarchy,
         config: DistributedTzConfig,
     ) -> TzBuildResult {
-        Self::try_run_with_hierarchy(graph, hierarchy, config)
-            .expect("distributed TZ construction failed")
+        build_with_hierarchy(graph, hierarchy, config).expect("distributed TZ construction failed")
     }
 
     /// Fallible variant of [`DistributedTz::run_with_hierarchy`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ThorupZwickScheme::new(k).build_with_hierarchy(graph, hierarchy, &config)"
+    )]
     pub fn try_run_with_hierarchy(
         graph: &Graph,
         hierarchy: Hierarchy,
         config: DistributedTzConfig,
     ) -> Result<TzBuildResult, SketchError> {
-        match config.sync {
-            SyncMode::GlobalOracle => run_global_oracle(graph, hierarchy, config),
-            SyncMode::TerminationDetection => run_termination_detection(graph, hierarchy, config),
-        }
+        build_with_hierarchy(graph, hierarchy, config)
     }
 }
 
@@ -237,11 +271,7 @@ fn run_termination_detection(
         });
     }
 
-    let sketches: Vec<Sketch> = net
-        .programs()
-        .iter()
-        .map(|p| p.build_sketch())
-        .collect();
+    let sketches: Vec<Sketch> = net.programs().iter().map(|p| p.build_sketch()).collect();
 
     let mut total = tree_stats.clone();
     total.absorb(&outcome.stats);
@@ -260,11 +290,12 @@ mod tests {
     use super::*;
     use crate::centralized::CentralizedTz;
     use crate::hierarchy::TzParams;
-    use crate::query::estimate_distance;
+    use crate::oracle::DistanceOracle;
+    use crate::scheme::{SchemeConfig, SketchScheme, ThorupZwickScheme};
     use netgraph::apsp::DistanceTable;
     use netgraph::generators::{erdos_renyi, grid, ring, GeneratorConfig};
 
-    fn check_against_centralized(graph: &Graph, k: usize, seed: u64, config: DistributedTzConfig) {
+    fn check_against_centralized(graph: &Graph, k: usize, seed: u64, config: SchemeConfig) {
         let (h, _) = Hierarchy::sample_until_top_nonempty(
             graph.num_nodes(),
             &TzParams::new(k).with_seed(seed),
@@ -272,7 +303,9 @@ mod tests {
         )
         .unwrap();
         let centralized = CentralizedTz::build(graph, &h);
-        let distributed = DistributedTz::run_with_hierarchy(graph, h, config);
+        let distributed = ThorupZwickScheme::new(k)
+            .build_with_hierarchy(graph, h, &config)
+            .unwrap();
         for u in graph.nodes() {
             let c = centralized.sketches.sketch(u);
             let d = distributed.sketches.sketch(u);
@@ -284,19 +317,19 @@ mod tests {
     #[test]
     fn oracle_mode_matches_centralized_on_random_graph() {
         let g = erdos_renyi(70, 0.08, GeneratorConfig::uniform(13, 1, 25));
-        check_against_centralized(&g, 3, 5, DistributedTzConfig::default());
+        check_against_centralized(&g, 3, 5, SchemeConfig::default());
     }
 
     #[test]
     fn oracle_mode_matches_centralized_on_grid() {
         let g = grid(7, 7, GeneratorConfig::uniform(4, 1, 10));
-        check_against_centralized(&g, 2, 9, DistributedTzConfig::default());
+        check_against_centralized(&g, 2, 9, SchemeConfig::default());
     }
 
     #[test]
     fn oracle_mode_matches_centralized_on_ring() {
         let g = ring(40, GeneratorConfig::uniform(6, 1, 8));
-        check_against_centralized(&g, 3, 2, DistributedTzConfig::default());
+        check_against_centralized(&g, 3, 2, SchemeConfig::default());
     }
 
     #[test]
@@ -306,7 +339,7 @@ mod tests {
             &g,
             2,
             3,
-            DistributedTzConfig::default().with_termination_detection(),
+            SchemeConfig::default().with_termination_detection(),
         );
     }
 
@@ -315,12 +348,13 @@ mod tests {
         let g = grid(6, 6, GeneratorConfig::uniform(8, 1, 12));
         let (h, _) =
             Hierarchy::sample_until_top_nonempty(36, &TzParams::new(3).with_seed(1), 200).unwrap();
-        let oracle = DistributedTz::run_with_hierarchy(&g, h.clone(), DistributedTzConfig::default());
-        let td = DistributedTz::run_with_hierarchy(
-            &g,
-            h,
-            DistributedTzConfig::default().with_termination_detection(),
-        );
+        let scheme = ThorupZwickScheme::new(3);
+        let oracle = scheme
+            .build_with_hierarchy(&g, h.clone(), &SchemeConfig::default())
+            .unwrap();
+        let td = scheme
+            .build_with_hierarchy(&g, h, &SchemeConfig::default().with_termination_detection())
+            .unwrap();
         for u in g.nodes() {
             assert_eq!(
                 oracle.sketches.sketch(u),
@@ -339,12 +373,14 @@ mod tests {
     fn stretch_guarantee_end_to_end() {
         let g = erdos_renyi(64, 0.1, GeneratorConfig::uniform(23, 1, 30));
         let k = 3;
-        let result = DistributedTz::run(&g, &TzParams::new(k).with_seed(7), Default::default());
+        let result = ThorupZwickScheme::new(k)
+            .build(&g, &SchemeConfig::default().with_seed(7))
+            .unwrap();
         let table = DistanceTable::exact(&g);
         let bound = (2 * k - 1) as u64;
+        assert_eq!(result.sketches.stretch_bound(), Some(bound));
         for (u, v, exact) in table.pairs() {
-            let est =
-                estimate_distance(result.sketches.sketch(u), result.sketches.sketch(v)).unwrap();
+            let est = result.sketches.estimate(u, v).unwrap();
             assert!(est >= exact);
             assert!(est <= bound * exact, "stretch violated for ({u},{v})");
         }
@@ -353,18 +389,15 @@ mod tests {
     #[test]
     fn invalid_k_is_rejected() {
         let g = ring(10, GeneratorConfig::unit(1));
-        let err = DistributedTz::try_run(&g, &TzParams::new(0), Default::default());
+        let err = ThorupZwickScheme::new(0).build(&g, &SchemeConfig::default());
         assert!(err.is_err());
     }
 
     #[test]
     fn round_limit_is_enforced() {
         let g = ring(60, GeneratorConfig::unit(1));
-        let config = DistributedTzConfig {
-            max_rounds: 2,
-            ..Default::default()
-        };
-        let err = DistributedTz::try_run(&g, &TzParams::new(2).with_seed(1), config);
+        let config = SchemeConfig::default().with_seed(1).with_max_rounds(2);
+        let err = ThorupZwickScheme::new(2).build(&g, &config);
         assert!(matches!(err, Err(SketchError::RoundLimitExceeded { .. })));
     }
 
@@ -375,14 +408,44 @@ mod tests {
         let n = 64;
         let expander = erdos_renyi(n, 0.2, GeneratorConfig::unit(3));
         let cycle = ring(n, GeneratorConfig::unit(3));
-        let params = TzParams::new(2).with_seed(11);
-        let a = DistributedTz::run(&expander, &params, Default::default());
-        let b = DistributedTz::run(&cycle, &params, Default::default());
+        let scheme = ThorupZwickScheme::new(2);
+        let config = SchemeConfig::default().with_seed(11);
+        let a = scheme.build(&expander, &config).unwrap();
+        let b = scheme.build(&cycle, &config).unwrap();
         assert!(
             b.stats.rounds > a.stats.rounds,
             "ring ({}) should need more rounds than expander ({})",
             b.stats.rounds,
             a.stats.rounds
         );
+    }
+
+    /// The deprecated entry points must keep producing the same labels as
+    /// the scheme API while they exist as shims.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_scheme_api() {
+        let g = grid(6, 6, GeneratorConfig::uniform(2, 1, 9));
+        let params = TzParams::new(2).with_seed(4);
+        let old = DistributedTz::run(&g, &params, DistributedTzConfig::default());
+        let new = ThorupZwickScheme::new(2)
+            .build(&g, &SchemeConfig::default().with_seed(4))
+            .unwrap();
+        for u in g.nodes() {
+            assert_eq!(old.sketches.sketch(u), new.sketches.sketch(u));
+        }
+        assert_eq!(old.stats, new.stats);
+
+        let (h, _) = Hierarchy::sample_until_top_nonempty(36, &params, 200).unwrap();
+        let old_h = DistributedTz::try_run_with_hierarchy(
+            &g,
+            h.clone(),
+            DistributedTzConfig::default().with_termination_detection(),
+        )
+        .unwrap();
+        let new_h = ThorupZwickScheme::new(2)
+            .build_with_hierarchy(&g, h, &SchemeConfig::default().with_termination_detection())
+            .unwrap();
+        assert_eq!(old_h.stats, new_h.stats);
     }
 }

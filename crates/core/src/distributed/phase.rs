@@ -76,7 +76,11 @@ impl PhaseProgram {
     }
 
     fn current_distance(&self, source: NodeId) -> Distance {
-        self.state.distances.get(&source).copied().unwrap_or(INFINITY)
+        self.state
+            .distances
+            .get(&source)
+            .copied()
+            .unwrap_or(INFINITY)
     }
 
     fn accept(&mut self, source: NodeId, candidate: Distance) -> bool {
@@ -205,7 +209,12 @@ mod tests {
             DistKey::new(2, NodeId(99)),
         ];
         let mut net = Network::new(&g, CongestConfig::strict(), |u| {
-            PhaseProgram::new(u, 1, if u == NodeId(0) { 1 } else { -1 }, thresholds[u.index()])
+            PhaseProgram::new(
+                u,
+                1,
+                if u == NodeId(0) { 1 } else { -1 },
+                thresholds[u.index()],
+            )
         });
         let outcome = net.run_until_quiescent(1_000);
         assert!(outcome.completed);

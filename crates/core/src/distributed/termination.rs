@@ -199,7 +199,14 @@ impl TerminationTzProgram {
     /// announcement produced a (queued) improvement, in which case the echo
     /// obligation is attached to the queued entry instead of being discharged
     /// immediately.
-    fn handle_data(&mut self, from: NodeId, phase: u32, source: NodeId, announced: Distance, edge_weight: Distance) {
+    fn handle_data(
+        &mut self,
+        from: NodeId,
+        phase: u32,
+        source: NodeId,
+        announced: Distance,
+        edge_weight: Distance,
+    ) {
         if phase != self.phase {
             // Either a straggler from a phase this node has already finished
             // (cannot happen once the root's completion logic is correct) or
@@ -347,7 +354,8 @@ impl TerminationTzProgram {
                 } else {
                     let next = self.phase - 1;
                     for &c in &self.tree.children.clone() {
-                        self.pending_control.push((c, TdMessage::Start { phase: next }));
+                        self.pending_control
+                            .push((c, TdMessage::Start { phase: next }));
                     }
                     self.advance_to_phase(next);
                 }
@@ -390,7 +398,10 @@ impl NodeProgram for TerminationTzProgram {
                     distance,
                 } => self.handle_echo(phase, source, distance),
                 TdMessage::Complete { phase } => {
-                    self.children_complete.entry(phase).or_default().insert(from);
+                    self.children_complete
+                        .entry(phase)
+                        .or_default()
+                        .insert(from);
                 }
                 TdMessage::Start { phase } => {
                     // Forward down the tree regardless, so the whole subtree
@@ -492,27 +503,26 @@ impl NodeProgram for TerminationTzProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::distributed::{DistributedTz, DistributedTzConfig, SyncMode};
     use crate::hierarchy::{Hierarchy, TzParams};
+    use crate::scheme::{BuildOutcome, SchemeConfig, ThorupZwickScheme, TzSketchSet};
     use congest_sim::programs::bfs_tree::build_bfs_tree;
     use congest_sim::{CongestConfig, Network};
     use netgraph::generators::{erdos_renyi, grid, preferential_attachment, ring, GeneratorConfig};
 
-    fn run_td(graph: &netgraph::Graph, k: usize, seed: u64) -> crate::distributed::TzBuildResult {
+    fn run_td(graph: &netgraph::Graph, k: usize, seed: u64) -> BuildOutcome<TzSketchSet> {
         let (h, _) = Hierarchy::sample_until_top_nonempty(
             graph.num_nodes(),
             &TzParams::new(k).with_seed(seed),
             200,
         )
         .unwrap();
-        DistributedTz::run_with_hierarchy(
-            graph,
-            h,
-            DistributedTzConfig {
-                sync: SyncMode::TerminationDetection,
-                ..Default::default()
-            },
-        )
+        ThorupZwickScheme::new(k)
+            .build_with_hierarchy(
+                graph,
+                h,
+                &SchemeConfig::default().with_termination_detection(),
+            )
+            .unwrap()
     }
 
     #[test]
@@ -576,13 +586,13 @@ mod tests {
         let g = erdos_renyi(60, 0.08, GeneratorConfig::uniform(19, 1, 10));
         let (h, _) =
             Hierarchy::sample_until_top_nonempty(60, &TzParams::new(2).with_seed(4), 200).unwrap();
-        let oracle =
-            DistributedTz::run_with_hierarchy(&g, h.clone(), DistributedTzConfig::default());
-        let td = DistributedTz::run_with_hierarchy(
-            &g,
-            h,
-            DistributedTzConfig::default().with_termination_detection(),
-        );
+        let scheme = ThorupZwickScheme::new(2);
+        let oracle = scheme
+            .build_with_hierarchy(&g, h.clone(), &SchemeConfig::default())
+            .unwrap();
+        let td = scheme
+            .build_with_hierarchy(&g, h, &SchemeConfig::default().with_termination_detection())
+            .unwrap();
         let k = 2u64;
         let n = 60u64;
         let tree_messages = td.tree_stats.as_ref().unwrap().messages;

@@ -49,7 +49,9 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert!(SketchError::UnknownNode(NodeId(3)).to_string().contains("v3"));
+        assert!(SketchError::UnknownNode(NodeId(3))
+            .to_string()
+            .contains("v3"));
         assert!(SketchError::NoCommonLandmark {
             u: NodeId(1),
             v: NodeId(2)

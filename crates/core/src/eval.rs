@@ -5,9 +5,13 @@
 //! average stretch, percentiles, and — for slack sketches — the same
 //! statistics restricted to ε-far pairs together with the fraction of pairs
 //! that meet the nominal stretch bound.
+//!
+//! Everything here is scheme-agnostic: the evaluators take any
+//! [`DistanceOracle`], so one code path serves all four sketch families (and
+//! the baselines, via [`evaluate_pairs`] with a closure).
 
 use crate::error::SketchError;
-use crate::query::estimate_distance;
+use crate::oracle::DistanceOracle;
 use crate::sketch::SketchSet;
 use netgraph::apsp::{DistanceTable, SampledPairs};
 use netgraph::{Distance, Graph, NodeId};
@@ -79,10 +83,7 @@ impl StretchReport {
 ///
 /// `estimate` returns `Ok(d')` with `d' ≥ d` or an error when no estimate is
 /// possible; pairs at infinite exact distance are skipped.
-pub fn evaluate_pairs<F>(
-    pairs: &[(NodeId, NodeId, Distance)],
-    mut estimate: F,
-) -> StretchReport
+pub fn evaluate_pairs<F>(pairs: &[(NodeId, NodeId, Distance)], mut estimate: F) -> StretchReport
 where
     F: FnMut(NodeId, NodeId) -> Result<Distance, SketchError>,
 {
@@ -103,37 +104,63 @@ where
     StretchReport::from_stretches(stretches, failures)
 }
 
-/// Evaluate a Thorup–Zwick [`SketchSet`] over **all** pairs of a graph using
-/// the Lemma 3.2 query.
-pub fn evaluate_sketches(graph: &Graph, sketches: &SketchSet) -> StretchReport {
+/// Evaluate any [`DistanceOracle`] over **all** pairs of a graph.
+pub fn evaluate_oracle(graph: &Graph, oracle: &dyn DistanceOracle) -> StretchReport {
     let table = DistanceTable::exact(graph);
     let pairs: Vec<_> = table.pairs().collect();
-    evaluate_pairs(&pairs, |u, v| {
-        estimate_distance(sketches.sketch(u), sketches.sketch(v))
-    })
+    evaluate_pairs(&pairs, |u, v| oracle.estimate(u, v))
 }
 
-/// Evaluate a [`SketchSet`] over a uniform sample of pairs (for graphs where
-/// the full quadratic table would dominate the experiment).
+/// Evaluate any [`DistanceOracle`] over a uniform sample of pairs (for
+/// graphs where the full quadratic table would dominate the experiment).
+pub fn evaluate_oracle_sampled(
+    graph: &Graph,
+    oracle: &dyn DistanceOracle,
+    num_pairs: usize,
+    seed: u64,
+) -> StretchReport {
+    let sampled = SampledPairs::uniform(graph, num_pairs, seed);
+    evaluate_pairs(&sampled.pairs, |u, v| oracle.estimate(u, v))
+}
+
+/// Evaluate any [`DistanceOracle`] separately on ε-far pairs and on the
+/// remaining (near) pairs, as needed to check slack guarantees.
+pub fn evaluate_oracle_with_slack(
+    graph: &Graph,
+    eps: f64,
+    oracle: &dyn DistanceOracle,
+) -> SlackReport {
+    evaluate_with_slack(graph, eps, |u, v| oracle.estimate(u, v))
+}
+
+/// Evaluate a Thorup–Zwick [`SketchSet`] over **all** pairs of a graph using
+/// the Lemma 3.2 query.
+#[deprecated(
+    since = "0.1.0",
+    note = "use evaluate_oracle (SketchSet is a DistanceOracle)"
+)]
+pub fn evaluate_sketches(graph: &Graph, sketches: &SketchSet) -> StretchReport {
+    evaluate_oracle(graph, sketches)
+}
+
+/// Evaluate a [`SketchSet`] over a uniform sample of pairs.
+#[deprecated(
+    since = "0.1.0",
+    note = "use evaluate_oracle_sampled (SketchSet is a DistanceOracle)"
+)]
 pub fn evaluate_sketches_sampled(
     graph: &Graph,
     sketches: &SketchSet,
     num_pairs: usize,
     seed: u64,
 ) -> StretchReport {
-    let sampled = SampledPairs::uniform(graph, num_pairs, seed);
-    evaluate_pairs(&sampled.pairs, |u, v| {
-        estimate_distance(sketches.sketch(u), sketches.sketch(v))
-    })
+    evaluate_oracle_sampled(graph, sketches, num_pairs, seed)
 }
 
-/// Evaluate an estimator separately on ε-far pairs and on the remaining
-/// (near) pairs, as needed to check slack guarantees.
-pub fn evaluate_with_slack<F>(
-    graph: &Graph,
-    eps: f64,
-    mut estimate: F,
-) -> SlackReport
+/// Evaluate an arbitrary estimator separately on ε-far pairs and on the
+/// remaining (near) pairs.  The closure form serves baselines that are not
+/// [`DistanceOracle`]s; sketch sets use [`evaluate_oracle_with_slack`].
+pub fn evaluate_with_slack<F>(graph: &Graph, eps: f64, mut estimate: F) -> SlackReport
 where
     F: FnMut(NodeId, NodeId) -> Result<Distance, SketchError>,
 {
@@ -196,7 +223,7 @@ mod tests {
     #[test]
     fn report_statistics_are_ordered() {
         let (g, sketches) = build_sketches(60, 3);
-        let report = evaluate_sketches(&g, &sketches);
+        let report = evaluate_oracle(&g, &sketches);
         assert_eq!(report.failures, 0);
         assert!(report.worst <= 5.0 + 1e-9, "k=3 stretch bound");
         assert!(report.median <= report.p90 + 1e-12);
@@ -210,8 +237,8 @@ mod tests {
     #[test]
     fn sampled_evaluation_agrees_roughly_with_full() {
         let (g, sketches) = build_sketches(80, 2);
-        let full = evaluate_sketches(&g, &sketches);
-        let sampled = evaluate_sketches_sampled(&g, &sketches, 400, 9);
+        let full = evaluate_oracle(&g, &sketches);
+        let sampled = evaluate_oracle_sampled(&g, &sketches, 400, 9);
         assert!(sampled.pairs > 0);
         assert!(sampled.worst <= full.worst + 1e-9);
         assert!((sampled.average - full.average).abs() < 0.5);

@@ -116,7 +116,11 @@ impl Hierarchy {
             )));
         }
         Ok(Self::sample_with_probability(
-            num_nodes, ground, k, probability, seed,
+            num_nodes,
+            ground,
+            k,
+            probability,
+            seed,
         ))
     }
 

@@ -1,0 +1,889 @@
+//! The [`SketchScheme`] trait, the [`SchemeSpec`] runtime selector and the
+//! [`SketchBuilder`] fluent constructor: the uniform *construction* surface
+//! over all four sketch families.
+//!
+//! Every scheme builds the same way — run a distributed construction on a
+//! graph under a shared [`SchemeConfig`] (seed, synchronization mode,
+//! CONGEST engine settings, round limit) and return a [`BuildOutcome`]:
+//! the sketches (a [`DistanceOracle`]) plus the shared round/message/word
+//! statistics.  Code that knows the scheme at compile time uses the typed
+//! scheme structs ([`ThorupZwickScheme`], [`ThreeStretchScheme`],
+//! [`CdgScheme`], [`DegradingScheme`]) and gets the concrete sketch-set type
+//! back; code that selects the scheme at runtime uses [`SchemeSpec`] /
+//! [`SketchBuilder`] and gets a `Box<dyn DistanceOracle>`.
+//!
+//! ```
+//! use dsketch::prelude::*;
+//! use netgraph::generators::{erdos_renyi, GeneratorConfig};
+//! use netgraph::NodeId;
+//!
+//! let graph = erdos_renyi(64, 0.1, GeneratorConfig::uniform(7, 1, 20));
+//!
+//! // Pick any scheme at runtime; query through the shared oracle trait.
+//! for spec in [SchemeSpec::thorup_zwick(3), SchemeSpec::three_stretch(0.3)] {
+//!     let outcome = SketchBuilder::new(spec).seed(42).build(&graph).unwrap();
+//!     let estimate = outcome.sketches.estimate(NodeId(0), NodeId(40)).unwrap();
+//!     println!(
+//!         "{}: estimate {estimate}, {} rounds, ≤ {} words/node",
+//!         outcome.sketches.scheme_name(),
+//!         outcome.stats.rounds,
+//!         outcome.sketches.max_words(),
+//!     );
+//! }
+//! ```
+
+use crate::distributed::{self, SyncMode};
+use crate::error::SketchError;
+use crate::hierarchy::{Hierarchy, TzParams};
+use crate::oracle::{check_nodes, DistanceOracle};
+use crate::query::estimate_distance;
+use crate::sketch::SketchSet;
+use crate::slack::cdg::{self, CdgParams, CdgSketchSet};
+use crate::slack::degrading::{self, DegradingParams, DegradingSketchSet};
+use crate::slack::three_stretch::{self, ThreeStretchSketchSet};
+use congest_sim::{CongestConfig, RunStats};
+use netgraph::{Distance, Graph, NodeId};
+
+/// The construction parameters shared by every scheme: randomness, phase
+/// synchronization, CONGEST engine settings and the round safety valve.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemeConfig {
+    /// Seed for all sampling (hierarchies, density nets).
+    pub seed: u64,
+    /// How phase boundaries are detected (Section 3.2 vs Section 3.3).
+    ///
+    /// Only meaningful for the phased constructions (Thorup–Zwick, CDG,
+    /// degrading).  [`ThreeStretchScheme`] is a single k-source flood with
+    /// no phase boundaries to detect, so it ignores this field (see its
+    /// `build` docs).
+    pub sync: SyncMode,
+    /// CONGEST engine configuration (threads, bandwidth budget).
+    pub congest: CongestConfig,
+    /// Safety valve: abort if a single run exceeds this many rounds.
+    pub max_rounds: u64,
+}
+
+impl Default for SchemeConfig {
+    fn default() -> Self {
+        SchemeConfig {
+            seed: 0,
+            sync: SyncMode::GlobalOracle,
+            congest: CongestConfig::default(),
+            max_rounds: 50_000_000,
+        }
+    }
+}
+
+impl SchemeConfig {
+    /// Replace the sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the synchronization mode.
+    pub fn with_sync(mut self, sync: SyncMode) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Use the Section 3.3 termination-detection protocol.
+    pub fn with_termination_detection(mut self) -> Self {
+        self.sync = SyncMode::TerminationDetection;
+        self
+    }
+
+    /// Replace the CONGEST engine configuration.
+    pub fn with_congest(mut self, congest: CongestConfig) -> Self {
+        self.congest = congest;
+        self
+    }
+
+    /// Replace the round limit.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// The per-run engine parameters (everything except the seed).
+    pub(crate) fn run_config(&self) -> distributed::DistributedTzConfig {
+        distributed::DistributedTzConfig {
+            sync: self.sync,
+            congest: self.congest,
+            max_rounds: self.max_rounds,
+        }
+    }
+}
+
+/// Everything a scheme build produces: the queryable sketches plus the
+/// shared cost statistics every theorem of the paper is stated in.
+#[derive(Debug, Clone)]
+pub struct BuildOutcome<O> {
+    /// The built sketches (a [`DistanceOracle`]).
+    pub sketches: O,
+    /// Total construction cost: rounds, messages, words on the wire.
+    pub stats: RunStats,
+    /// Per-unit cost in execution order, when the construction has natural
+    /// units: one entry per phase for Thorup–Zwick in
+    /// [`SyncMode::GlobalOracle`] mode, one entry per layer for the
+    /// gracefully degrading construction.  Empty otherwise.
+    pub phase_stats: Vec<RunStats>,
+    /// Cost of the BFS-tree preamble (termination-detection mode only).
+    pub tree_stats: Option<RunStats>,
+}
+
+impl<O: DistanceOracle + 'static> BuildOutcome<O> {
+    /// Erase the concrete sketch-set type, for code that treats schemes
+    /// polymorphically.
+    pub fn boxed(self) -> DynBuildOutcome {
+        BuildOutcome {
+            sketches: Box::new(self.sketches),
+            stats: self.stats,
+            phase_stats: self.phase_stats,
+            tree_stats: self.tree_stats,
+        }
+    }
+}
+
+/// A [`BuildOutcome`] with the sketch-set type erased.
+pub type DynBuildOutcome = BuildOutcome<Box<dyn DistanceOracle>>;
+
+/// A distributed sketch construction: turns a graph and a [`SchemeConfig`]
+/// into a [`DistanceOracle`].
+///
+/// Implementations are cheap value types holding the scheme's own
+/// parameters (`k`, ε, layer caps); everything run-specific lives in the
+/// config.  See [`SchemeSpec`] for the type-erased, runtime-selected
+/// counterpart.
+pub trait SketchScheme {
+    /// The concrete sketch-set type the scheme produces.
+    type Sketches: DistanceOracle + 'static;
+
+    /// Short scheme identifier (matches the output's
+    /// [`DistanceOracle::scheme_name`]).
+    fn name(&self) -> &'static str;
+
+    /// Run the distributed construction on `graph`.
+    fn build(
+        &self,
+        graph: &Graph,
+        config: &SchemeConfig,
+    ) -> Result<BuildOutcome<Self::Sketches>, SketchError>;
+}
+
+// ---------------------------------------------------------------------------
+// Thorup–Zwick
+// ---------------------------------------------------------------------------
+
+/// The Thorup–Zwick labels built by the distributed construction: the
+/// per-node [`SketchSet`] plus the sampled level hierarchy (the
+/// construction's shared randomness, kept so results can be replayed and
+/// compared against the centralized oracle).
+#[derive(Debug, Clone)]
+pub struct TzSketchSet {
+    /// The per-node labels.
+    pub sketches: SketchSet,
+    /// The hierarchy the labels were built from.
+    pub hierarchy: Hierarchy,
+}
+
+/// Deref to the label set, so typed callers reach [`SketchSet`] accessors
+/// (`sketch(u)`, `iter()`, …) without spelling out `.sketches.sketches`.
+impl std::ops::Deref for TzSketchSet {
+    type Target = SketchSet;
+
+    fn deref(&self) -> &SketchSet {
+        &self.sketches
+    }
+}
+
+impl DistanceOracle for TzSketchSet {
+    fn estimate(&self, u: NodeId, v: NodeId) -> Result<Distance, SketchError> {
+        check_nodes(self.sketches.len(), u, v)?;
+        estimate_distance(self.sketches.sketch(u), self.sketches.sketch(v))
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.sketches.len()
+    }
+
+    fn words(&self, u: NodeId) -> usize {
+        self.sketches.sketch(u).words()
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "thorup-zwick"
+    }
+
+    fn stretch_bound(&self) -> Option<u64> {
+        Some((2 * self.hierarchy.k() as u64).saturating_sub(1))
+    }
+}
+
+/// Theorem 1.1 / 3.8: Thorup–Zwick sketches with `k` levels — stretch
+/// `2k − 1`, `O(k n^{1/k} log n)` words, `O(k n^{1/k} S log n)` rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThorupZwickScheme {
+    /// The level count `k ≥ 1`.
+    pub k: usize,
+}
+
+impl ThorupZwickScheme {
+    /// A scheme with `k` levels.
+    pub fn new(k: usize) -> Self {
+        ThorupZwickScheme { k }
+    }
+
+    /// The paper's `k = ⌈log₂ n⌉` choice for a graph of `n` nodes.
+    pub fn log_n(n: usize) -> Self {
+        ThorupZwickScheme {
+            k: TzParams::log_n(n).k,
+        }
+    }
+
+    /// Run the construction with an explicitly provided hierarchy instead of
+    /// sampling one from the config seed.  Used by the equivalence
+    /// experiments, which hand the same hierarchy to the centralized
+    /// construction and compare labels bit-for-bit.
+    pub fn build_with_hierarchy(
+        &self,
+        graph: &Graph,
+        hierarchy: Hierarchy,
+        config: &SchemeConfig,
+    ) -> Result<BuildOutcome<TzSketchSet>, SketchError> {
+        let raw = distributed::build_with_hierarchy(graph, hierarchy, config.run_config())?;
+        Ok(BuildOutcome {
+            sketches: TzSketchSet {
+                sketches: raw.sketches,
+                hierarchy: raw.hierarchy,
+            },
+            stats: raw.stats,
+            phase_stats: raw.phase_stats,
+            tree_stats: raw.tree_stats,
+        })
+    }
+}
+
+impl SketchScheme for ThorupZwickScheme {
+    type Sketches = TzSketchSet;
+
+    fn name(&self) -> &'static str {
+        "thorup-zwick"
+    }
+
+    fn build(
+        &self,
+        graph: &Graph,
+        config: &SchemeConfig,
+    ) -> Result<BuildOutcome<TzSketchSet>, SketchError> {
+        let params = TzParams::new(self.k).with_seed(config.seed);
+        params.validate()?;
+        let (hierarchy, _) =
+            Hierarchy::sample_until_top_nonempty(graph.num_nodes(), &params, 1000)?;
+        self.build_with_hierarchy(graph, hierarchy, config)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3-stretch slack
+// ---------------------------------------------------------------------------
+
+/// Theorem 4.3: stretch 3 with ε-slack, `O((1/ε) log n)` words,
+/// `O(S (1/ε) log n)` rounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreeStretchScheme {
+    /// Slack parameter ε ∈ (0, 1].
+    pub eps: f64,
+}
+
+impl ThreeStretchScheme {
+    /// A scheme with slack `eps`.
+    pub fn new(eps: f64) -> Self {
+        ThreeStretchScheme { eps }
+    }
+}
+
+impl SketchScheme for ThreeStretchScheme {
+    type Sketches = ThreeStretchSketchSet;
+
+    fn name(&self) -> &'static str {
+        "three-stretch"
+    }
+
+    /// Run the Theorem 4.3 construction: one k-source Bellman–Ford from the
+    /// sampled density net.
+    ///
+    /// The construction is a single phase, so [`SchemeConfig::sync`] does
+    /// not apply and is ignored: there are no phase boundaries for the
+    /// Section 3.3 termination-detection protocol to detect, and the
+    /// returned [`BuildOutcome::tree_stats`] is always `None`.
+    fn build(
+        &self,
+        graph: &Graph,
+        config: &SchemeConfig,
+    ) -> Result<BuildOutcome<ThreeStretchSketchSet>, SketchError> {
+        let set = three_stretch::build(
+            graph,
+            self.eps,
+            config.seed,
+            config.congest,
+            config.max_rounds,
+        )?;
+        let stats = set.stats.clone();
+        Ok(BuildOutcome {
+            sketches: set,
+            stats,
+            phase_stats: Vec::new(),
+            tree_stats: None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (ε, k)-CDG
+// ---------------------------------------------------------------------------
+
+/// Theorem 1.2 / 4.6: the (ε, k)-CDG sketch — stretch `8k − 1` with ε-slack,
+/// `O(k (1/ε log n)^{1/k} log n)` words.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdgScheme {
+    /// Slack parameter ε ∈ (0, 1].
+    pub eps: f64,
+    /// Level count `k ≥ 1`; the ε-far stretch guarantee is `8k − 1`.
+    pub k: usize,
+}
+
+impl CdgScheme {
+    /// A scheme with slack `eps` and `k` levels.
+    pub fn new(eps: f64, k: usize) -> Self {
+        CdgScheme { eps, k }
+    }
+}
+
+impl SketchScheme for CdgScheme {
+    type Sketches = CdgSketchSet;
+
+    fn name(&self) -> &'static str {
+        "cdg"
+    }
+
+    fn build(
+        &self,
+        graph: &Graph,
+        config: &SchemeConfig,
+    ) -> Result<BuildOutcome<CdgSketchSet>, SketchError> {
+        let params = CdgParams::new(self.eps, self.k).with_seed(config.seed);
+        let set = cdg::build(graph, params, config.run_config())?;
+        let stats = set.stats.clone();
+        Ok(BuildOutcome {
+            sketches: set,
+            stats,
+            phase_stats: Vec::new(),
+            tree_stats: None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gracefully degrading
+// ---------------------------------------------------------------------------
+
+/// Theorem 1.3 / 4.8: gracefully degrading sketches — a union of CDG layers,
+/// `O(log 1/ε)` stretch for every ε simultaneously, `O(log^4 n)` words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegradingScheme {
+    /// Optional cap on the number of layers (default `⌈log₂ n⌉`).
+    pub max_layers: Option<usize>,
+    /// Optional cap on each layer's `k` (default: the paper's `k_i = i`).
+    pub max_k: Option<usize>,
+}
+
+impl DegradingScheme {
+    /// The paper's construction with no caps.
+    pub fn new() -> Self {
+        DegradingScheme::default()
+    }
+
+    /// Cap each layer's `k` (useful to keep small-graph runs fast).
+    pub fn with_max_k(mut self, max_k: usize) -> Self {
+        self.max_k = Some(max_k.max(1));
+        self
+    }
+
+    /// Cap the number of layers.
+    pub fn with_max_layers(mut self, layers: usize) -> Self {
+        self.max_layers = Some(layers.max(1));
+        self
+    }
+}
+
+impl SketchScheme for DegradingScheme {
+    type Sketches = DegradingSketchSet;
+
+    fn name(&self) -> &'static str {
+        "degrading"
+    }
+
+    fn build(
+        &self,
+        graph: &Graph,
+        config: &SchemeConfig,
+    ) -> Result<BuildOutcome<DegradingSketchSet>, SketchError> {
+        let mut params = DegradingParams::new(config.seed);
+        params.max_layers = self.max_layers;
+        params.max_k = self.max_k.map(|k| k.max(1));
+        let set = degrading::build(graph, params, config.run_config())?;
+        let stats = set.stats.clone();
+        let phase_stats = set.layers.iter().map(|l| l.stats.clone()).collect();
+        Ok(BuildOutcome {
+            sketches: set,
+            stats,
+            phase_stats,
+            tree_stats: None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime selection
+// ---------------------------------------------------------------------------
+
+/// A runtime-chosen scheme: the type-erased counterpart of the typed scheme
+/// structs, used wherever the scheme comes from configuration (CLI flags,
+/// experiment matrices, serving-layer requests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchemeSpec {
+    /// [`ThorupZwickScheme`].
+    ThorupZwick {
+        /// Level count `k ≥ 1` (stretch `2k − 1`).
+        k: usize,
+    },
+    /// [`ThreeStretchScheme`].
+    ThreeStretch {
+        /// Slack parameter ε ∈ (0, 1].
+        eps: f64,
+    },
+    /// [`CdgScheme`].
+    Cdg {
+        /// Slack parameter ε ∈ (0, 1].
+        eps: f64,
+        /// Level count `k ≥ 1` (ε-far stretch `8k − 1`).
+        k: usize,
+    },
+    /// [`DegradingScheme`].
+    Degrading {
+        /// Optional cap on the number of layers.
+        max_layers: Option<usize>,
+        /// Optional cap on each layer's `k`.
+        max_k: Option<usize>,
+    },
+}
+
+impl SchemeSpec {
+    /// Thorup–Zwick with `k` levels.
+    pub fn thorup_zwick(k: usize) -> Self {
+        SchemeSpec::ThorupZwick { k }
+    }
+
+    /// 3-stretch slack sketches with slack `eps`.
+    pub fn three_stretch(eps: f64) -> Self {
+        SchemeSpec::ThreeStretch { eps }
+    }
+
+    /// (ε, k)-CDG sketches.
+    pub fn cdg(eps: f64, k: usize) -> Self {
+        SchemeSpec::Cdg { eps, k }
+    }
+
+    /// Gracefully degrading sketches with the paper's layer schedule.
+    pub fn degrading() -> Self {
+        SchemeSpec::Degrading {
+            max_layers: None,
+            max_k: None,
+        }
+    }
+
+    /// The scheme identifier (matches [`DistanceOracle::scheme_name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchemeSpec::ThorupZwick { .. } => "thorup-zwick",
+            SchemeSpec::ThreeStretch { .. } => "three-stretch",
+            SchemeSpec::Cdg { .. } => "cdg",
+            SchemeSpec::Degrading { .. } => "degrading",
+        }
+    }
+
+    /// One representative spec per family, with parameters suited to small
+    /// and medium graphs — the matrix that scheme-generic tests, benches and
+    /// demos iterate over.
+    pub fn all_families() -> Vec<SchemeSpec> {
+        vec![
+            SchemeSpec::thorup_zwick(3),
+            SchemeSpec::three_stretch(0.3),
+            SchemeSpec::cdg(0.3, 2),
+            SchemeSpec::Degrading {
+                max_layers: None,
+                max_k: Some(3),
+            },
+        ]
+    }
+
+    /// Parse a spec from a compact string, as used by CLI flags:
+    ///
+    /// * `tz:3` or `thorup-zwick:3` — Thorup–Zwick with `k = 3`
+    /// * `3stretch:0.25` or `three-stretch:0.25` — 3-stretch with ε = 0.25
+    /// * `cdg:0.2,2` — CDG with ε = 0.2 and `k = 2`
+    /// * `degrading`, `degrading:4` (cap `k`), or keyed caps in any order:
+    ///   `degrading:k=4`, `degrading:layers=3`, `degrading:k=4,layers=3`
+    pub fn parse(text: &str) -> Result<Self, SketchError> {
+        let invalid = || SketchError::InvalidParameters(format!("unrecognized scheme '{text}'"));
+        let (name, args) = match text.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (text, None),
+        };
+        match name {
+            "tz" | "thorup-zwick" => {
+                let k = args.ok_or_else(invalid)?.parse().map_err(|_| invalid())?;
+                Ok(SchemeSpec::thorup_zwick(k))
+            }
+            "3stretch" | "three-stretch" => {
+                let eps = args.ok_or_else(invalid)?.parse().map_err(|_| invalid())?;
+                Ok(SchemeSpec::three_stretch(eps))
+            }
+            "cdg" => {
+                let (eps, k) = args.and_then(|a| a.split_once(',')).ok_or_else(invalid)?;
+                Ok(SchemeSpec::cdg(
+                    eps.trim().parse().map_err(|_| invalid())?,
+                    k.trim().parse().map_err(|_| invalid())?,
+                ))
+            }
+            "degrading" => {
+                let (mut max_layers, mut max_k) = (None, None);
+                if let Some(a) = args {
+                    for part in a.split(',') {
+                        match part.trim().split_once('=') {
+                            Some(("k", v)) => max_k = Some(v.parse().map_err(|_| invalid())?),
+                            Some(("layers", v)) => {
+                                max_layers = Some(v.parse().map_err(|_| invalid())?)
+                            }
+                            // Bare integer: the `degrading:4` shorthand for k.
+                            None => max_k = Some(part.trim().parse().map_err(|_| invalid())?),
+                            Some(_) => return Err(invalid()),
+                        }
+                    }
+                }
+                Ok(SchemeSpec::Degrading { max_layers, max_k })
+            }
+            _ => Err(invalid()),
+        }
+    }
+
+    /// Run the construction, returning type-erased sketches.
+    pub fn build(
+        &self,
+        graph: &Graph,
+        config: &SchemeConfig,
+    ) -> Result<DynBuildOutcome, SketchError> {
+        match *self {
+            SchemeSpec::ThorupZwick { k } => ThorupZwickScheme::new(k)
+                .build(graph, config)
+                .map(BuildOutcome::boxed),
+            SchemeSpec::ThreeStretch { eps } => ThreeStretchScheme::new(eps)
+                .build(graph, config)
+                .map(BuildOutcome::boxed),
+            SchemeSpec::Cdg { eps, k } => CdgScheme::new(eps, k)
+                .build(graph, config)
+                .map(BuildOutcome::boxed),
+            SchemeSpec::Degrading { max_layers, max_k } => DegradingScheme { max_layers, max_k }
+                .build(graph, config)
+                .map(BuildOutcome::boxed),
+        }
+    }
+}
+
+impl std::fmt::Display for SchemeSpec {
+    /// The compact form accepted by [`SchemeSpec::parse`]; every spec
+    /// round-trips exactly, including both degrading caps.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SchemeSpec::ThorupZwick { k } => write!(f, "tz:{k}"),
+            SchemeSpec::ThreeStretch { eps } => write!(f, "3stretch:{eps}"),
+            SchemeSpec::Cdg { eps, k } => write!(f, "cdg:{eps},{k}"),
+            SchemeSpec::Degrading {
+                max_layers: None,
+                max_k: None,
+            } => write!(f, "degrading"),
+            SchemeSpec::Degrading {
+                max_layers: None,
+                max_k: Some(k),
+            } => write!(f, "degrading:{k}"),
+            SchemeSpec::Degrading {
+                max_layers: Some(l),
+                max_k: None,
+            } => write!(f, "degrading:layers={l}"),
+            SchemeSpec::Degrading {
+                max_layers: Some(l),
+                max_k: Some(k),
+            } => write!(f, "degrading:k={k},layers={l}"),
+        }
+    }
+}
+
+/// Fluent constructor over [`SchemeSpec`] + [`SchemeConfig`]: pick a scheme,
+/// chain configuration, build, query through `Box<dyn DistanceOracle>`.
+#[derive(Debug, Clone, Copy)]
+pub struct SketchBuilder {
+    spec: SchemeSpec,
+    config: SchemeConfig,
+}
+
+impl SketchBuilder {
+    /// Start from a runtime-chosen spec.
+    pub fn new(spec: SchemeSpec) -> Self {
+        SketchBuilder {
+            spec,
+            config: SchemeConfig::default(),
+        }
+    }
+
+    /// Thorup–Zwick with `k` levels.
+    pub fn thorup_zwick(k: usize) -> Self {
+        Self::new(SchemeSpec::thorup_zwick(k))
+    }
+
+    /// 3-stretch slack sketches with slack `eps`.
+    pub fn three_stretch(eps: f64) -> Self {
+        Self::new(SchemeSpec::three_stretch(eps))
+    }
+
+    /// (ε, k)-CDG sketches.
+    pub fn cdg(eps: f64, k: usize) -> Self {
+        Self::new(SchemeSpec::cdg(eps, k))
+    }
+
+    /// Gracefully degrading sketches.
+    pub fn degrading() -> Self {
+        Self::new(SchemeSpec::degrading())
+    }
+
+    /// Replace the sampling seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Set the synchronization mode.
+    pub fn sync(mut self, sync: SyncMode) -> Self {
+        self.config.sync = sync;
+        self
+    }
+
+    /// Use the Section 3.3 termination-detection protocol.
+    pub fn termination_detection(mut self) -> Self {
+        self.config.sync = SyncMode::TerminationDetection;
+        self
+    }
+
+    /// Replace the CONGEST engine configuration.
+    pub fn congest(mut self, congest: CongestConfig) -> Self {
+        self.config.congest = congest;
+        self
+    }
+
+    /// Replace the round limit.
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.config.max_rounds = max_rounds;
+        self
+    }
+
+    /// The spec this builder will construct.
+    pub fn spec(&self) -> &SchemeSpec {
+        &self.spec
+    }
+
+    /// The accumulated configuration.
+    pub fn config(&self) -> &SchemeConfig {
+        &self.config
+    }
+
+    /// Run the construction.
+    pub fn build(&self, graph: &Graph) -> Result<DynBuildOutcome, SketchError> {
+        self.spec.build(graph, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::generators::{erdos_renyi, GeneratorConfig};
+
+    fn small_graph() -> Graph {
+        erdos_renyi(48, 0.15, GeneratorConfig::uniform(5, 1, 20))
+    }
+
+    #[test]
+    fn every_family_builds_through_the_builder() {
+        let graph = small_graph();
+        for spec in SchemeSpec::all_families() {
+            let outcome = SketchBuilder::new(spec).seed(9).build(&graph).unwrap();
+            assert_eq!(outcome.sketches.num_nodes(), 48, "{spec}");
+            assert_eq!(outcome.sketches.scheme_name(), spec.name(), "{spec}");
+            assert!(outcome.stats.rounds > 0, "{spec}");
+            assert!(outcome.sketches.max_words() > 0, "{spec}");
+            let est = outcome.sketches.estimate(NodeId(0), NodeId(1)).unwrap();
+            assert!(est > 0, "{spec}");
+        }
+    }
+
+    #[test]
+    fn typed_builds_expose_concrete_types() {
+        let graph = small_graph();
+        let config = SchemeConfig::default().with_seed(3);
+
+        let tz = ThorupZwickScheme::new(2).build(&graph, &config).unwrap();
+        assert_eq!(tz.sketches.hierarchy.k(), 2);
+        assert_eq!(tz.phase_stats.len(), 2, "one entry per phase");
+
+        let three = ThreeStretchScheme::new(0.4).build(&graph, &config).unwrap();
+        assert!(!three.sketches.net.is_empty());
+
+        let cdg = CdgScheme::new(0.4, 2).build(&graph, &config).unwrap();
+        assert_eq!(cdg.sketches.params.k, 2);
+
+        let deg = DegradingScheme::new()
+            .with_max_k(2)
+            .with_max_layers(2)
+            .build(&graph, &config)
+            .unwrap();
+        assert_eq!(deg.sketches.num_layers(), 2);
+        assert_eq!(deg.phase_stats.len(), 2, "one entry per layer");
+        let layer_rounds: u64 = deg.phase_stats.iter().map(|s| s.rounds).sum();
+        assert_eq!(layer_rounds, deg.stats.rounds);
+    }
+
+    #[test]
+    fn builder_config_flows_through() {
+        let graph = small_graph();
+        let builder = SketchBuilder::thorup_zwick(2)
+            .seed(7)
+            .termination_detection()
+            .congest(CongestConfig::default())
+            .max_rounds(1_000_000);
+        assert_eq!(builder.config().seed, 7);
+        assert_eq!(builder.config().sync, SyncMode::TerminationDetection);
+        let outcome = builder.build(&graph).unwrap();
+        assert!(
+            outcome.tree_stats.is_some(),
+            "termination detection builds a BFS tree"
+        );
+    }
+
+    #[test]
+    fn round_limit_propagates_to_all_schemes() {
+        let graph = netgraph::generators::ring(64, GeneratorConfig::unit(1));
+        for spec in SchemeSpec::all_families() {
+            let result = SketchBuilder::new(spec).max_rounds(1).build(&graph);
+            assert!(
+                matches!(result, Err(SketchError::RoundLimitExceeded { .. })),
+                "{spec} should hit the round limit"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let graph = small_graph();
+        let config = SchemeConfig::default();
+        assert!(SchemeSpec::thorup_zwick(0).build(&graph, &config).is_err());
+        assert!(SchemeSpec::three_stretch(0.0)
+            .build(&graph, &config)
+            .is_err());
+        assert!(SchemeSpec::cdg(1.5, 2).build(&graph, &config).is_err());
+        assert!(SchemeSpec::cdg(0.3, 0).build(&graph, &config).is_err());
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        assert_eq!(
+            SchemeSpec::parse("tz:3").unwrap(),
+            SchemeSpec::thorup_zwick(3)
+        );
+        assert_eq!(
+            SchemeSpec::parse("thorup-zwick:2").unwrap(),
+            SchemeSpec::thorup_zwick(2)
+        );
+        assert_eq!(
+            SchemeSpec::parse("3stretch:0.25").unwrap(),
+            SchemeSpec::three_stretch(0.25)
+        );
+        assert_eq!(
+            SchemeSpec::parse("cdg:0.2,2").unwrap(),
+            SchemeSpec::cdg(0.2, 2)
+        );
+        assert_eq!(
+            SchemeSpec::parse("degrading").unwrap(),
+            SchemeSpec::degrading()
+        );
+        assert_eq!(
+            SchemeSpec::parse("degrading:3").unwrap(),
+            SchemeSpec::Degrading {
+                max_layers: None,
+                max_k: Some(3)
+            }
+        );
+        assert_eq!(
+            SchemeSpec::parse("degrading:k=4,layers=3").unwrap(),
+            SchemeSpec::Degrading {
+                max_layers: Some(3),
+                max_k: Some(4)
+            }
+        );
+        assert_eq!(
+            SchemeSpec::parse("degrading:layers=2").unwrap(),
+            SchemeSpec::Degrading {
+                max_layers: Some(2),
+                max_k: None
+            }
+        );
+        for bad in ["", "tz", "tz:x", "cdg:0.2", "nope:1", "degrading:q=1"] {
+            assert!(SchemeSpec::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+        let every_degrading_combo = [None, Some(2)].into_iter().flat_map(|l| {
+            [None, Some(3)].map(|k| SchemeSpec::Degrading {
+                max_layers: l,
+                max_k: k,
+            })
+        });
+        for spec in SchemeSpec::all_families()
+            .into_iter()
+            .chain(every_degrading_combo)
+        {
+            assert_eq!(
+                SchemeSpec::parse(&spec.to_string()).unwrap(),
+                spec,
+                "round-trip failed for {spec}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_estimates() {
+        let graph = small_graph();
+        let a = SketchBuilder::thorup_zwick(3)
+            .seed(11)
+            .build(&graph)
+            .unwrap();
+        let b = SketchBuilder::thorup_zwick(3)
+            .seed(11)
+            .build(&graph)
+            .unwrap();
+        for u in graph.nodes().take(10) {
+            for v in graph.nodes().skip(20).take(10) {
+                assert_eq!(
+                    a.sketches.estimate(u, v).unwrap(),
+                    b.sketches.estimate(u, v).unwrap()
+                );
+            }
+        }
+    }
+}

@@ -18,11 +18,10 @@
 //! can be compared bit-for-bit.
 
 use netgraph::{Distance, NodeId, INFINITY};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Lexicographic `(distance, node)` key used for consistent tie-breaking.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct DistKey {
     /// The distance component.
     pub distance: Distance,
@@ -50,7 +49,7 @@ impl DistKey {
 
 /// One entry of a bunch: a node `w ∈ B(u)` together with its hierarchy level
 /// and the exact distance `d(u, w)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BunchEntry {
     /// The level `i` such that `w ∈ B_i(u)`.
     pub level: u32,
@@ -59,7 +58,7 @@ pub struct BunchEntry {
 }
 
 /// The Thorup–Zwick label `L(u)` of one node.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Sketch {
     /// The node this sketch belongs to.
     pub owner: NodeId,
@@ -86,7 +85,11 @@ impl Sketch {
 
     /// Set pivot `p_i(u)` and its distance.
     pub fn set_pivot(&mut self, level: usize, pivot: NodeId, distance: Distance) {
-        assert!(level < self.k, "pivot level {level} out of range (k = {})", self.k);
+        assert!(
+            level < self.k,
+            "pivot level {level} out of range (k = {})",
+            self.k
+        );
         self.pivots[level] = Some((pivot, distance));
     }
 
@@ -102,10 +105,10 @@ impl Sketch {
 
     /// Insert (or improve) a bunch entry.
     pub fn insert_bunch(&mut self, node: NodeId, level: u32, distance: Distance) {
-        let entry = self.bunch.entry(node).or_insert(BunchEntry {
-            level,
-            distance,
-        });
+        let entry = self
+            .bunch
+            .entry(node)
+            .or_insert(BunchEntry { level, distance });
         if distance <= entry.distance {
             entry.distance = distance;
             entry.level = level;
@@ -167,7 +170,10 @@ impl Sketch {
         }
         for (node, e) in &self.bunch {
             if e.level as usize >= self.k {
-                return Err(format!("bunch member {node} has level {} >= k {}", e.level, self.k));
+                return Err(format!(
+                    "bunch member {node} has level {} >= k {}",
+                    e.level, self.k
+                ));
             }
         }
         Ok(())
@@ -175,7 +181,7 @@ impl Sketch {
 }
 
 /// The collection of sketches for every node of a network.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SketchSet {
     sketches: Vec<Sketch>,
 }
@@ -226,7 +232,11 @@ impl SketchSet {
 
     /// Maximum bunch size over all nodes.
     pub fn max_bunch_size(&self) -> usize {
-        self.sketches.iter().map(Sketch::bunch_size).max().unwrap_or(0)
+        self.sketches
+            .iter()
+            .map(Sketch::bunch_size)
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -19,9 +19,10 @@
 //! ε-slack guarantee (the triangle-inequality argument of Section 4 goes
 //! through verbatim with `u`'s own pivots in place of `u'`'s).
 
-use crate::distributed::{DistributedTz, DistributedTzConfig};
+use crate::distributed::{self, DistributedTzConfig};
 use crate::error::SketchError;
 use crate::hierarchy::Hierarchy;
+use crate::oracle::{check_nodes, DistanceOracle};
 use crate::query::{estimate_distance, estimate_distance_best_common};
 use crate::sketch::SketchSet;
 use crate::slack::density_net::DensityNet;
@@ -124,28 +125,72 @@ impl CdgSketchSet {
     }
 }
 
-/// Builder for (ε, k)-CDG sketches.
+impl DistanceOracle for CdgSketchSet {
+    /// Queries use the best-common-landmark rule
+    /// ([`CdgSketchSet::estimate_best`]), which is never worse than the
+    /// Lemma 3.2 level walk and satisfies the same `(8k − 1)` ε-slack bound.
+    fn estimate(&self, u: NodeId, v: NodeId) -> Result<Distance, SketchError> {
+        check_nodes(self.sketches.len(), u, v)?;
+        self.estimate_best(u, v)
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.sketches.len()
+    }
+
+    fn words(&self, u: NodeId) -> usize {
+        self.sketches.sketch(u).words()
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "cdg"
+    }
+
+    /// Theorem 4.6's `8k − 1` bound, covering the ε-far pairs.
+    fn stretch_bound(&self) -> Option<u64> {
+        Some(self.params.stretch())
+    }
+}
+
+/// The Theorem 4.6 construction: sample the net, restrict the hierarchy to
+/// it, run the distributed Thorup–Zwick engine.  Crate-internal engine
+/// behind [`crate::scheme::CdgScheme`] and the deprecated [`DistributedCdg`]
+/// shim.
+pub(crate) fn build(
+    graph: &Graph,
+    params: CdgParams,
+    config: DistributedTzConfig,
+) -> Result<CdgSketchSet, SketchError> {
+    params.validate()?;
+    let n = graph.num_nodes();
+    let net = DensityNet::sample_nonempty(n, params.eps, params.seed)?;
+    let hierarchy = sample_net_hierarchy(n, &net, params, graph)?;
+    let result = distributed::build_with_hierarchy(graph, hierarchy, config)?;
+    Ok(CdgSketchSet {
+        params,
+        net,
+        hierarchy: result.hierarchy,
+        sketches: result.sketches,
+        stats: result.stats,
+    })
+}
+
+/// Builder for (ε, k)-CDG sketches (deprecated shim over
+/// [`crate::scheme::CdgScheme`]).
 pub struct DistributedCdg;
 
 impl DistributedCdg {
     /// Run the distributed construction.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use CdgScheme::new(eps, k).build(graph, &config) or SketchBuilder::cdg(eps, k)"
+    )]
     pub fn run(
         graph: &Graph,
         params: CdgParams,
         config: DistributedTzConfig,
     ) -> Result<CdgSketchSet, SketchError> {
-        params.validate()?;
-        let n = graph.num_nodes();
-        let net = DensityNet::sample_nonempty(n, params.eps, params.seed)?;
-        let hierarchy = sample_net_hierarchy(n, &net, params, graph)?;
-        let result = DistributedTz::try_run_with_hierarchy(graph, hierarchy, config)?;
-        Ok(CdgSketchSet {
-            params,
-            net,
-            hierarchy: result.hierarchy,
-            sketches: result.sketches,
-            stats: result.stats,
-        })
+        build(graph, params, config)
     }
 }
 
@@ -185,13 +230,21 @@ fn sample_net_hierarchy(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheme::{CdgScheme, SchemeConfig, SketchScheme};
     use crate::slack::is_eps_far;
     use netgraph::apsp::DistanceTable;
     use netgraph::generators::{erdos_renyi, grid, ring, GeneratorConfig};
 
+    fn build_scheme(graph: &Graph, params: CdgParams) -> CdgSketchSet {
+        CdgScheme::new(params.eps, params.k)
+            .build(graph, &SchemeConfig::default().with_seed(params.seed))
+            .unwrap()
+            .sketches
+    }
+
     fn check_cdg(graph: &Graph, params: CdgParams) -> CdgSketchSet {
         let table = DistanceTable::exact(graph);
-        let result = DistributedCdg::run(graph, params, DistributedTzConfig::default()).unwrap();
+        let result = build_scheme(graph, params);
         let bound = params.stretch();
         for (u, v, exact) in table.pairs() {
             if let Ok(est) = result.estimate(u, v) {
@@ -234,7 +287,7 @@ mod tests {
         let g = erdos_renyi(70, 0.1, GeneratorConfig::uniform(7, 1, 15));
         let table = DistanceTable::exact(&g);
         let params = CdgParams::new(0.3, 2).with_seed(3);
-        let result = DistributedCdg::run(&g, params, DistributedTzConfig::default()).unwrap();
+        let result = build_scheme(&g, params);
         for u in g.nodes() {
             let (closest, dist) = result.closest_net_node(u).expect("net is nonempty");
             let exact_min = result
@@ -256,7 +309,7 @@ mod tests {
         let n = 200;
         let g = erdos_renyi(n, 0.05, GeneratorConfig::uniform(11, 1, 10));
         let params = CdgParams::new(0.2, 2).with_seed(5);
-        let result = DistributedCdg::run(&g, params, DistributedTzConfig::default()).unwrap();
+        let result = build_scheme(&g, params);
         assert!(result.max_words() <= 2 * (result.net.len() + params.k));
         for s in result.sketches.iter() {
             for &member in s.bunch().keys() {
@@ -277,5 +330,17 @@ mod tests {
         let prob = p.level_probability(1000);
         assert!(prob > 0.0 && prob < 1.0);
         assert_eq!(CdgParams::new(0.25, 1).level_probability(1000), 0.0);
+    }
+
+    /// The deprecated shim must keep matching the scheme API while it exists.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_scheme_api() {
+        let g = grid(6, 6, GeneratorConfig::uniform(5, 1, 8));
+        let params = CdgParams::new(0.3, 2).with_seed(2);
+        let old = DistributedCdg::run(&g, params, DistributedTzConfig::default()).unwrap();
+        let new = build_scheme(&g, params);
+        assert_eq!(old.net, new.net);
+        assert_eq!(old.sketches, new.sketches);
     }
 }

@@ -11,7 +11,8 @@
 
 use crate::distributed::DistributedTzConfig;
 use crate::error::SketchError;
-use crate::slack::cdg::{CdgParams, CdgSketchSet, DistributedCdg};
+use crate::oracle::{check_nodes, DistanceOracle};
+use crate::slack::cdg::{self, CdgParams, CdgSketchSet};
 use congest_sim::RunStats;
 use netgraph::{Distance, Graph, NodeId, INFINITY};
 
@@ -120,38 +121,85 @@ impl DegradingSketchSet {
     }
 }
 
-/// Builder for gracefully degrading sketches.
+impl DistanceOracle for DegradingSketchSet {
+    fn estimate(&self, u: NodeId, v: NodeId) -> Result<Distance, SketchError> {
+        let n = self.layers.first().map_or(0, |l| l.sketches.len());
+        check_nodes(n, u, v)?;
+        DegradingSketchSet::estimate(self, u, v)
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.sketches.len())
+    }
+
+    fn words(&self, u: NodeId) -> usize {
+        DegradingSketchSet::words(self, u)
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "degrading"
+    }
+
+    /// No single multiplicative bound: the guarantee is the curve
+    /// `O(log 1/ε)` for every ε simultaneously (Theorem 4.8).
+    fn stretch_bound(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// The Theorem 4.8 layered construction.  Crate-internal engine behind
+/// [`crate::scheme::DegradingScheme`] and the deprecated
+/// [`DistributedDegrading`] shim.
+pub(crate) fn build(
+    graph: &Graph,
+    params: DegradingParams,
+    config: DistributedTzConfig,
+) -> Result<DegradingSketchSet, SketchError> {
+    let n = graph.num_nodes();
+    let mut layers = Vec::new();
+    let mut stats = RunStats::default();
+    for layer_params in params.layers(n) {
+        let layer = cdg::build(graph, layer_params, config)?;
+        stats.absorb(&layer.stats);
+        layers.push(layer);
+    }
+    Ok(DegradingSketchSet { layers, stats })
+}
+
+/// Builder for gracefully degrading sketches (deprecated shim over
+/// [`crate::scheme::DegradingScheme`]).
 pub struct DistributedDegrading;
 
 impl DistributedDegrading {
     /// Run the layered construction on `graph`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use DegradingScheme::new().build(graph, &config) or SketchBuilder::degrading()"
+    )]
     pub fn run(
         graph: &Graph,
         params: DegradingParams,
         config: DistributedTzConfig,
     ) -> Result<DegradingSketchSet, SketchError> {
-        let n = graph.num_nodes();
-        let mut layers = Vec::new();
-        let mut stats = RunStats::default();
-        for layer_params in params.layers(n) {
-            let layer = DistributedCdg::run(graph, layer_params, config)?;
-            stats.absorb(&layer.stats);
-            layers.push(layer);
-        }
-        Ok(DegradingSketchSet { layers, stats })
+        build(graph, params, config)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheme::{DegradingScheme, SchemeConfig, SketchScheme};
     use netgraph::apsp::DistanceTable;
     use netgraph::generators::{erdos_renyi, grid, GeneratorConfig};
 
-    fn average_and_worst_stretch(
-        graph: &Graph,
-        sketches: &DegradingSketchSet,
-    ) -> (f64, f64) {
+    fn build_scheme(graph: &Graph, scheme: DegradingScheme, seed: u64) -> DegradingSketchSet {
+        scheme
+            .build(graph, &SchemeConfig::default().with_seed(seed))
+            .unwrap()
+            .sketches
+    }
+
+    fn average_and_worst_stretch(graph: &Graph, sketches: &DegradingSketchSet) -> (f64, f64) {
         let table = DistanceTable::exact(graph);
         let mut total = 0.0;
         let mut count = 0usize;
@@ -187,12 +235,7 @@ mod tests {
     #[test]
     fn average_stretch_is_small_on_random_graph() {
         let g = erdos_renyi(80, 0.08, GeneratorConfig::uniform(13, 1, 20));
-        let sketches = DistributedDegrading::run(
-            &g,
-            DegradingParams::new(5).with_max_k(3),
-            DistributedTzConfig::default(),
-        )
-        .unwrap();
+        let sketches = build_scheme(&g, DegradingScheme::new().with_max_k(3), 5);
         let (avg, worst) = average_and_worst_stretch(&g, &sketches);
         // Corollary 4.9: O(1) average stretch, O(log n) worst case.  For an
         // 80-node graph "O(1)" should comfortably be below 4 and the worst
@@ -204,12 +247,7 @@ mod tests {
     #[test]
     fn average_stretch_is_small_on_grid() {
         let g = grid(8, 8, GeneratorConfig::uniform(7, 1, 10));
-        let sketches = DistributedDegrading::run(
-            &g,
-            DegradingParams::new(2).with_max_k(3),
-            DistributedTzConfig::default(),
-        )
-        .unwrap();
+        let sketches = build_scheme(&g, DegradingScheme::new().with_max_k(3), 2);
         let (avg, worst) = average_and_worst_stretch(&g, &sketches);
         assert!(avg < 4.0, "average stretch too large: {avg}");
         assert!(worst < 48.0, "worst-case stretch too large: {worst}");
@@ -218,12 +256,7 @@ mod tests {
     #[test]
     fn degrading_estimate_never_worse_than_coarsest_layer() {
         let g = erdos_renyi(60, 0.1, GeneratorConfig::uniform(3, 1, 12));
-        let sketches = DistributedDegrading::run(
-            &g,
-            DegradingParams::new(9).with_max_k(2),
-            DistributedTzConfig::default(),
-        )
-        .unwrap();
+        let sketches = build_scheme(&g, DegradingScheme::new().with_max_k(2), 9);
         for u in g.nodes().take(10) {
             for v in g.nodes().skip(30).take(10) {
                 if u == v {
@@ -242,12 +275,11 @@ mod tests {
     #[test]
     fn size_accounting_sums_layers() {
         let g = erdos_renyi(64, 0.1, GeneratorConfig::uniform(21, 1, 8));
-        let sketches = DistributedDegrading::run(
+        let sketches = build_scheme(
             &g,
-            DegradingParams::new(4).with_max_k(2).with_max_layers(3),
-            DistributedTzConfig::default(),
-        )
-        .unwrap();
+            DegradingScheme::new().with_max_k(2).with_max_layers(3),
+            4,
+        );
         assert_eq!(sketches.num_layers(), 3);
         let u = NodeId(5);
         let manual: usize = sketches
@@ -258,5 +290,27 @@ mod tests {
         assert_eq!(sketches.words(u), manual);
         assert!(sketches.max_words() >= manual);
         assert!(sketches.stats.rounds > 0);
+    }
+
+    /// The deprecated shim must keep matching the scheme API while it exists.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_scheme_api() {
+        let g = erdos_renyi(48, 0.12, GeneratorConfig::uniform(9, 1, 10));
+        let old = DistributedDegrading::run(
+            &g,
+            DegradingParams::new(7).with_max_k(2).with_max_layers(2),
+            DistributedTzConfig::default(),
+        )
+        .unwrap();
+        let new = build_scheme(
+            &g,
+            DegradingScheme::new().with_max_k(2).with_max_layers(2),
+            7,
+        );
+        assert_eq!(old.num_layers(), new.num_layers());
+        for (a, b) in old.layers.iter().zip(new.layers.iter()) {
+            assert_eq!(a.sketches, b.sketches);
+        }
     }
 }

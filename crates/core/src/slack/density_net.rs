@@ -190,8 +190,16 @@ mod tests {
         // n = 2000, ε = 0.2: E|N| = 5 ln(2000) / 0.2 ≈ 190.
         let net = DensityNet::sample(2000, 0.2, 7).unwrap();
         let expected = 5.0 * (2000f64).ln() / 0.2;
-        assert!((net.len() as f64) > 0.5 * expected, "net too small: {}", net.len());
-        assert!((net.len() as f64) < 2.0 * expected, "net too large: {}", net.len());
+        assert!(
+            (net.len() as f64) > 0.5 * expected,
+            "net too small: {}",
+            net.len()
+        );
+        assert!(
+            (net.len() as f64) < 2.0 * expected,
+            "net too large: {}",
+            net.len()
+        );
         assert!((net.len() as f64) <= net.size_bound());
     }
 

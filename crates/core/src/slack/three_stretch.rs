@@ -8,6 +8,7 @@
 //! `3 · d(u, v)` whenever `v` is ε-far from `u`.
 
 use crate::error::SketchError;
+use crate::oracle::{check_nodes, DistanceOracle};
 use crate::query::estimate_distance_slack;
 use crate::sketch::{Sketch, SketchSet};
 use crate::slack::density_net::DensityNet;
@@ -39,11 +40,87 @@ impl ThreeStretchSketchSet {
     }
 }
 
-/// Builder for Theorem 4.3 sketches.
+impl DistanceOracle for ThreeStretchSketchSet {
+    fn estimate(&self, u: NodeId, v: NodeId) -> Result<Distance, SketchError> {
+        check_nodes(self.sketches.len(), u, v)?;
+        ThreeStretchSketchSet::estimate(self, u, v)
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.sketches.len()
+    }
+
+    fn words(&self, u: NodeId) -> usize {
+        self.sketches.sketch(u).words()
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "three-stretch"
+    }
+
+    /// Theorem 4.3's bound, covering the ε-far pairs.
+    fn stretch_bound(&self) -> Option<u64> {
+        Some(3)
+    }
+}
+
+/// The Theorem 4.3 construction: sample the net, run the k-source
+/// Bellman–Ford from it, assemble per-node sketches.  Crate-internal engine
+/// behind [`crate::scheme::ThreeStretchScheme`] and the deprecated
+/// [`DistributedThreeStretch`] shim.
+pub(crate) fn build(
+    graph: &Graph,
+    eps: f64,
+    seed: u64,
+    congest: CongestConfig,
+    max_rounds: u64,
+) -> Result<ThreeStretchSketchSet, SketchError> {
+    let n = graph.num_nodes();
+    let net = DensityNet::sample_nonempty(n, eps, seed)?;
+    let mut network = Network::new(graph, congest, |u| {
+        KSourceBellmanFord::new(u, net.contains(u))
+    });
+    let outcome = network.run_until_quiescent(max_rounds);
+    if !outcome.completed {
+        return Err(SketchError::RoundLimitExceeded { limit: max_rounds });
+    }
+
+    let sketches: Vec<Sketch> = network
+        .programs()
+        .iter()
+        .map(|p| {
+            let mut sketch = Sketch::new(p.node(), 1);
+            let mut best: Option<(NodeId, Distance)> = None;
+            for (&net_node, &dist) in p.distances() {
+                sketch.insert_bunch(net_node, 0, dist);
+                if best.is_none_or(|(_, d)| dist < d) {
+                    best = Some((net_node, dist));
+                }
+            }
+            if let Some((node, dist)) = best {
+                sketch.set_pivot(0, node, dist);
+            }
+            sketch
+        })
+        .collect();
+
+    Ok(ThreeStretchSketchSet {
+        net,
+        sketches: SketchSet::new(sketches),
+        stats: outcome.stats,
+    })
+}
+
+/// Builder for Theorem 4.3 sketches (deprecated shim over
+/// [`crate::scheme::ThreeStretchScheme`]).
 pub struct DistributedThreeStretch;
 
 impl DistributedThreeStretch {
     /// Run the distributed construction on `graph` with slack `eps`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ThreeStretchScheme::new(eps).build(graph, &config) or SketchBuilder::three_stretch(eps)"
+    )]
     pub fn run(
         graph: &Graph,
         eps: f64,
@@ -51,55 +128,38 @@ impl DistributedThreeStretch {
         congest: CongestConfig,
         max_rounds: u64,
     ) -> Result<ThreeStretchSketchSet, SketchError> {
-        let n = graph.num_nodes();
-        let net = DensityNet::sample_nonempty(n, eps, seed)?;
-        let mut network = Network::new(graph, congest, |u| {
-            KSourceBellmanFord::new(u, net.contains(u))
-        });
-        let outcome = network.run_until_quiescent(max_rounds);
-        if !outcome.completed {
-            return Err(SketchError::RoundLimitExceeded { limit: max_rounds });
-        }
-
-        let sketches: Vec<Sketch> = network
-            .programs()
-            .iter()
-            .map(|p| {
-                let mut sketch = Sketch::new(p.node(), 1);
-                let mut best: Option<(NodeId, Distance)> = None;
-                for (&net_node, &dist) in p.distances() {
-                    sketch.insert_bunch(net_node, 0, dist);
-                    if best.is_none_or(|(_, d)| dist < d) {
-                        best = Some((net_node, dist));
-                    }
-                }
-                if let Some((node, dist)) = best {
-                    sketch.set_pivot(0, node, dist);
-                }
-                sketch
-            })
-            .collect();
-
-        Ok(ThreeStretchSketchSet {
-            net,
-            sketches: SketchSet::new(sketches),
-            stats: outcome.stats,
-        })
+        build(graph, eps, seed, congest, max_rounds)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheme::{SchemeConfig, SketchScheme, ThreeStretchScheme};
     use crate::slack::is_eps_far;
     use netgraph::apsp::DistanceTable;
     use netgraph::generators::{erdos_renyi, grid, GeneratorConfig};
 
+    fn build_scheme(
+        graph: &Graph,
+        eps: f64,
+        seed: u64,
+        congest: CongestConfig,
+    ) -> ThreeStretchSketchSet {
+        ThreeStretchScheme::new(eps)
+            .build(
+                graph,
+                &SchemeConfig::default()
+                    .with_seed(seed)
+                    .with_congest(congest),
+            )
+            .unwrap()
+            .sketches
+    }
+
     fn check_slack_stretch(graph: &Graph, eps: f64, seed: u64) {
         let table = DistanceTable::exact(graph);
-        let sketches =
-            DistributedThreeStretch::run(graph, eps, seed, CongestConfig::strict(), u64::MAX)
-                .unwrap();
+        let sketches = build_scheme(graph, eps, seed, CongestConfig::strict());
         for (u, v, exact) in table.pairs() {
             let est = sketches.estimate(u, v).unwrap();
             assert!(est >= exact, "underestimate for ({u},{v})");
@@ -127,8 +187,7 @@ mod tests {
     #[test]
     fn sketch_size_tracks_net_size() {
         let g = erdos_renyi(150, 0.06, GeneratorConfig::uniform(9, 1, 15));
-        let result =
-            DistributedThreeStretch::run(&g, 0.3, 2, CongestConfig::strict(), u64::MAX).unwrap();
+        let result = build_scheme(&g, 0.3, 2, CongestConfig::strict());
         // Every sketch stores one entry per reachable net node: 2 words each,
         // plus 2 pivot words.
         let expected = 2 * result.net.len() + 2;
@@ -140,8 +199,7 @@ mod tests {
     fn distances_to_net_nodes_are_exact() {
         let g = grid(6, 6, GeneratorConfig::uniform(7, 1, 6));
         let table = DistanceTable::exact(&g);
-        let result =
-            DistributedThreeStretch::run(&g, 0.4, 3, CongestConfig::strict(), u64::MAX).unwrap();
+        let result = build_scheme(&g, 0.4, 3, CongestConfig::strict());
         for u in g.nodes() {
             let sketch = result.sketches.sketch(u);
             for &w in result.net.members() {
@@ -153,15 +211,28 @@ mod tests {
     #[test]
     fn invalid_epsilon_is_rejected() {
         let g = grid(3, 3, GeneratorConfig::unit(1));
-        assert!(
-            DistributedThreeStretch::run(&g, 0.0, 1, CongestConfig::default(), 1000).is_err()
-        );
+        assert!(ThreeStretchScheme::new(0.0)
+            .build(&g, &SchemeConfig::default())
+            .is_err());
     }
 
     #[test]
     fn round_limit_is_enforced() {
         let g = grid(8, 8, GeneratorConfig::unit(1));
-        let err = DistributedThreeStretch::run(&g, 0.2, 1, CongestConfig::default(), 1);
+        let err = ThreeStretchScheme::new(0.2)
+            .build(&g, &SchemeConfig::default().with_seed(1).with_max_rounds(1));
         assert!(matches!(err, Err(SketchError::RoundLimitExceeded { .. })));
+    }
+
+    /// The deprecated shim must keep matching the scheme API while it exists.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_scheme_api() {
+        let g = grid(5, 5, GeneratorConfig::uniform(3, 1, 7));
+        let old =
+            DistributedThreeStretch::run(&g, 0.4, 6, CongestConfig::default(), u64::MAX).unwrap();
+        let new = build_scheme(&g, 0.4, 6, CongestConfig::default());
+        assert_eq!(old.net, new.net);
+        assert_eq!(old.sketches, new.sketches);
     }
 }

@@ -50,7 +50,9 @@ proptest! {
         let n = g.num_nodes();
         let (h, _) = Hierarchy::sample_until_top_nonempty(n, &TzParams::new(k).with_seed(seed), 500).unwrap();
         let centralized = CentralizedTz::build(&g, &h);
-        let distributed = DistributedTz::run_with_hierarchy(&g, h, DistributedTzConfig::default());
+        let distributed = ThorupZwickScheme::new(k)
+            .build_with_hierarchy(&g, h, &SchemeConfig::default())
+            .unwrap();
         for u in g.nodes() {
             prop_assert_eq!(centralized.sketches.sketch(u), distributed.sketches.sketch(u));
         }
@@ -139,8 +141,10 @@ proptest! {
     fn three_stretch_slack_guarantee((g, seed) in (arb_graph(), 0u64..1_000)) {
         let eps = 0.4;
         let table = DistanceTable::exact(&g);
-        let sketches = DistributedThreeStretch::run(
-            &g, eps, seed, congest_sim::CongestConfig::default(), u64::MAX).unwrap();
+        let sketches = ThreeStretchScheme::new(eps)
+            .build(&g, &SchemeConfig::default().with_seed(seed))
+            .unwrap()
+            .sketches;
         for (u, v, exact) in table.pairs() {
             let est = sketches.estimate(u, v).unwrap();
             prop_assert!(est >= exact);

@@ -134,9 +134,6 @@ mod tests {
         let g = b.build();
         let completion = MetricCompletion::build(&g, &[NodeId(0), NodeId(1), NodeId(2)]);
         assert_eq!(completion.graph.num_edges(), 1);
-        assert!(completion
-            .graph
-            .edge_weight(NodeId(0), NodeId(2))
-            .is_none());
+        assert!(completion.graph.edge_weight(NodeId(0), NodeId(2)).is_none());
     }
 }

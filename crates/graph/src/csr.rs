@@ -6,14 +6,13 @@
 //! node's neighborhood is the contiguous slice `offsets[u]..offsets[u + 1]`.
 
 use crate::{Weight, INFINITY};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Dense node identifier in `0..n`.
 ///
 /// A thin newtype so that node indices cannot be silently confused with
 /// counts, weights, or positions in unrelated arrays.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -52,7 +51,7 @@ pub struct EdgeRef {
 /// `neighbors(u)` contains `v` if and only if `neighbors(v)` contains `u`,
 /// with the same weight.  Construction goes through [`crate::GraphBuilder`],
 /// which enforces this symmetry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Graph {
     offsets: Vec<usize>,
     targets: Vec<NodeId>,
@@ -127,9 +126,7 @@ impl Graph {
 
     /// The weight of edge `(u, v)` if it exists.
     pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
-        self.neighbors(u)
-            .find(|e| e.to == v)
-            .map(|e| e.weight)
+        self.neighbors(u).find(|e| e.to == v).map(|e| e.weight)
     }
 
     /// Returns `true` if `(u, v)` is an edge.

@@ -27,7 +27,11 @@ pub fn erdos_renyi(n: usize, p: f64, config: GeneratorConfig) -> Graph {
         let n_i = n as i64;
         while v < n_i {
             let r: f64 = rng.gen_range(f64::EPSILON..1.0);
-            let skip = if p >= 1.0 { 0 } else { (r.ln() / log_q).floor() as i64 };
+            let skip = if p >= 1.0 {
+                0
+            } else {
+                (r.ln() / log_q).floor() as i64
+            };
             w += 1 + skip;
             while w >= v && v < n_i {
                 w -= v;

@@ -170,7 +170,10 @@ pub fn standard_suite(n: usize, seed: u64) -> Vec<(&'static str, Graph)> {
             "erdos_renyi_weighted",
             erdos_renyi(n, 8.0 / n as f64, GeneratorConfig::uniform(seed, 1, 100)),
         ),
-        ("grid", grid(side, side, GeneratorConfig::uniform(seed, 1, 10))),
+        (
+            "grid",
+            grid(side, side, GeneratorConfig::uniform(seed, 1, 10)),
+        ),
         ("ring", ring(n, GeneratorConfig::unit(seed))),
         (
             "preferential",
@@ -215,7 +218,10 @@ mod tests {
     #[test]
     fn weight_model_heavy_tail_clamped() {
         let mut rng = StdRng::seed_from_u64(3);
-        let m = WeightModel::HeavyTail { scale: 10, cap: 1000 };
+        let m = WeightModel::HeavyTail {
+            scale: 10,
+            cap: 1000,
+        };
         for _ in 0..500 {
             let w = m.sample(&mut rng);
             assert!((1..=1000).contains(&w));
@@ -246,12 +252,7 @@ mod tests {
         b.add_edge_idx(0, 1, 1);
         b.add_edge_idx(2, 3, 1);
         let mut rng = StdRng::seed_from_u64(4);
-        let added = connect_components(
-            &mut b,
-            &mut rng,
-            WeightModel::Unit,
-            &[(0, 1), (2, 3)],
-        );
+        let added = connect_components(&mut b, &mut rng, WeightModel::Unit, &[(0, 1), (2, 3)]);
         assert_eq!(added, 3); // 4 components -> 3 connecting edges
         let g = b.build();
         assert!(is_connected(&g));

@@ -30,12 +30,11 @@ fn main() {
     );
 
     // Layered CDG construction.
-    let degrading = DistributedDegrading::run(
-        &graph,
-        DegradingParams::new(seed).with_max_k(max_k),
-        DistributedTzConfig::default(),
-    )
-    .expect("construction");
+    let outcome = DegradingScheme::new()
+        .with_max_k(max_k)
+        .build(&graph, &SchemeConfig::default().with_seed(seed))
+        .expect("construction");
+    let degrading = &outcome.sketches;
     println!("\nlayers (ε_i = 2^-i, k_i = min(i, {max_k})):");
     let mut rows = Vec::new();
     for (i, layer) in degrading.layers.iter().enumerate() {
@@ -54,14 +53,16 @@ fn main() {
     );
     println!(
         "total: {} rounds, {} messages, combined sketch ≤ {} words per node",
-        degrading.stats.rounds,
-        degrading.stats.messages,
+        outcome.stats.rounds,
+        outcome.stats.messages,
         degrading.max_words()
     );
 
     // Baseline: plain TZ with k = log n (the smallest-sketch point of Thm 1.1).
-    let k_log = TzParams::log_n(n);
-    let plain = DistributedTz::run(&graph, &k_log.with_seed(seed), DistributedTzConfig::default());
+    let tz_scheme = ThorupZwickScheme::log_n(n);
+    let plain = tz_scheme
+        .build(&graph, &SchemeConfig::default().with_seed(seed))
+        .expect("construction");
 
     // Compare stretch statistics over all pairs.
     let table = DistanceTable::exact(&graph);
@@ -79,9 +80,7 @@ fn main() {
         (worst, sum / count as f64)
     };
     let (deg_worst, deg_avg) = stats_for(&|u, v| degrading.estimate(u, v).unwrap());
-    let (tz_worst, tz_avg) = stats_for(&|u, v| {
-        estimate_distance(plain.sketches.sketch(u), plain.sketches.sketch(v)).unwrap()
-    });
+    let (tz_worst, tz_avg) = stats_for(&|u, v| plain.sketches.estimate(u, v).unwrap());
 
     println!("\nstretch comparison over all pairs:");
     print_table(
@@ -94,7 +93,7 @@ fn main() {
                 degrading.max_words().to_string(),
             ],
             vec![
-                format!("Thorup–Zwick k = {}", k_log.k),
+                format!("Thorup–Zwick k = {}", tz_scheme.k),
                 format!("{tz_worst:.2}"),
                 format!("{tz_avg:.2}"),
                 plain.sketches.max_words().to_string(),

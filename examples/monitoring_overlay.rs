@@ -12,8 +12,7 @@
 //! cargo run --release --bin monitoring_overlay -- --nodes 300 --eps 0.1
 //! ```
 
-use congest_sim::CongestConfig;
-use dsketch::slack::three_stretch::DistributedThreeStretch;
+use dsketch::prelude::*;
 use dsketch_examples::{arg_parse, print_table};
 use netgraph::apsp::DistanceTable;
 use netgraph::generators::{random_geometric, GeneratorConfig};
@@ -33,14 +32,10 @@ fn main() {
         graph.num_edges()
     );
 
-    let sketches = DistributedThreeStretch::run(
-        &graph,
-        eps,
-        seed,
-        CongestConfig::default(),
-        u64::MAX,
-    )
-    .expect("construction");
+    let outcome = ThreeStretchScheme::new(eps)
+        .build(&graph, &SchemeConfig::default().with_seed(seed))
+        .expect("construction");
+    let sketches = &outcome.sketches;
     println!(
         "\nmonitor placement: |N| = {} monitors sampled (bound {:.0}), zero rounds",
         sketches.net.len(),
@@ -48,8 +43,8 @@ fn main() {
     );
     println!(
         "sketch construction: {} rounds, {} messages; per-client sketch ≤ {} words",
-        sketches.stats.rounds,
-        sketches.stats.messages,
+        outcome.stats.rounds,
+        outcome.stats.messages,
         sketches.max_words()
     );
 
@@ -72,7 +67,13 @@ fn main() {
     }
     println!("\nlatency-estimate quality (ε = {eps}):");
     print_table(
-        &["pair class", "pairs", "worst stretch", "mean stretch", "guarantee"],
+        &[
+            "pair class",
+            "pairs",
+            "worst stretch",
+            "mean stretch",
+            "guarantee",
+        ],
         &[
             vec![
                 "ε-far (covered)".into(),
@@ -98,7 +99,11 @@ fn main() {
         let client = NodeId::from_index(i);
         let sketch = sketches.sketches.sketch(client);
         if let Some((monitor, dist)) = sketch.pivot(0) {
-            rows.push(vec![client.to_string(), monitor.to_string(), dist.to_string()]);
+            rows.push(vec![
+                client.to_string(),
+                monitor.to_string(),
+                dist.to_string(),
+            ]);
         }
     }
     print_table(&["client", "closest monitor", "distance"], &rows);

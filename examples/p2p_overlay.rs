@@ -47,11 +47,9 @@ fn main() {
     );
 
     // --- preprocessing: build sketches once ---
-    let result = DistributedTz::run(
-        &graph,
-        &TzParams::new(k).with_seed(seed),
-        DistributedTzConfig::default(),
-    );
+    let result = ThorupZwickScheme::new(k)
+        .build(&graph, &SchemeConfig::default().with_seed(seed))
+        .expect("construction");
     println!(
         "\npreprocessing: {} rounds, {} messages (one-time cost, stretch ≤ {})",
         result.stats.rounds,
@@ -100,7 +98,7 @@ fn main() {
         assert_eq!(exact, exact_via_bf, "simulator sanity check");
         assert_eq!(
             estimate,
-            estimate_distance(result.sketches.sketch(u), result.sketches.sketch(v)).unwrap(),
+            result.sketches.estimate(u, v).unwrap(),
             "the shipped sketch must answer exactly like a local query"
         );
 

@@ -1,12 +1,18 @@
-//! Quickstart: build distributed Thorup–Zwick sketches on a random weighted
-//! network and answer distance queries from the sketches alone.
+//! Quickstart: build distance sketches on a random weighted network and
+//! answer distance queries from the sketches alone.
+//!
+//! The scheme is chosen at runtime — every family runs through the same
+//! `SketchBuilder` / `DistanceOracle` code path:
 //!
 //! ```text
-//! cargo run --release --bin quickstart -- --nodes 256 --k 3 --seed 7
+//! cargo run --release --bin quickstart -- --nodes 256 --scheme tz:3
+//! cargo run --release --bin quickstart -- --scheme 3stretch:0.25
+//! cargo run --release --bin quickstart -- --scheme cdg:0.2,2
+//! cargo run --release --bin quickstart -- --scheme degrading:3
 //! ```
 
 use dsketch::prelude::*;
-use dsketch_examples::{arg_parse, print_table};
+use dsketch_examples::{arg_parse, arg_value, print_table};
 use netgraph::diameter::estimate_diameters;
 use netgraph::generators::{erdos_renyi, GeneratorConfig};
 use netgraph::shortest_path::dijkstra;
@@ -15,8 +21,12 @@ use netgraph::NodeId;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let n: usize = arg_parse(&args, "nodes", 256);
-    let k: usize = arg_parse(&args, "k", 3);
     let seed: u64 = arg_parse(&args, "seed", 7);
+    let scheme_text = arg_value(&args, "scheme").unwrap_or_else(|| "tz:3".to_string());
+    let spec = SchemeSpec::parse(&scheme_text).unwrap_or_else(|e| {
+        eprintln!("{e}; try tz:3, 3stretch:0.25, cdg:0.2,2 or degrading");
+        std::process::exit(2);
+    });
 
     println!("== distance-sketch quickstart ==");
     println!("network: Erdős–Rényi, n = {n}, average degree ≈ 8, weights 1..100");
@@ -29,19 +39,29 @@ fn main() {
         diam.shortest_path_diameter
     );
 
-    println!("\nbuilding Thorup–Zwick sketches with k = {k} (stretch ≤ {}) ...", 2 * k - 1);
-    let params = TzParams::new(k).with_seed(seed);
-    let result = DistributedTz::run(&graph, &params, DistributedTzConfig::default());
+    println!("\nbuilding '{spec}' sketches with the distributed CONGEST construction ...");
+    let outcome = SketchBuilder::new(spec)
+        .seed(seed)
+        .build(&graph)
+        .unwrap_or_else(|e| {
+            eprintln!("construction failed: {e}");
+            std::process::exit(2);
+        });
+    let oracle = &outcome.sketches;
     println!(
         "construction: {} rounds, {} messages, {} words on the wire",
-        result.stats.rounds, result.stats.messages, result.stats.words
+        outcome.stats.rounds, outcome.stats.messages, outcome.stats.words
     );
     println!(
         "sketch size: max {} words, average {:.1} words (exact oracle would need {} words/node)",
-        result.sketches.max_words(),
-        result.sketches.avg_words(),
+        oracle.max_words(),
+        oracle.avg_words(),
         n - 1
     );
+    match oracle.stretch_bound() {
+        Some(bound) => println!("nominal stretch guarantee: ≤ {bound}"),
+        None => println!("nominal stretch guarantee: O(log 1/ε) for every ε (degrading)"),
+    }
 
     // Answer a few queries from the sketches and compare with exact distances.
     println!("\nsample queries (estimate vs exact):");
@@ -53,8 +73,7 @@ fn main() {
         if u == v {
             continue;
         }
-        let est = estimate_distance(result.sketches.sketch(u), result.sketches.sketch(v))
-            .expect("connected graph");
+        let est = oracle.estimate(u, v).expect("connected graph");
         let exact = dijkstra(&graph, u).distance(v);
         let stretch = est as f64 / exact.max(1) as f64;
         worst = worst.max(stretch);
@@ -67,9 +86,8 @@ fn main() {
         ]);
     }
     print_table(&["u", "v", "estimate", "exact", "stretch"], &rows);
-    println!(
-        "\nworst sampled stretch {:.2} (guarantee: ≤ {})",
-        worst,
-        2 * k - 1
-    );
+    match oracle.stretch_bound() {
+        Some(bound) => println!("\nworst sampled stretch {worst:.2} (guarantee: ≤ {bound})"),
+        None => println!("\nworst sampled stretch {worst:.2}"),
+    }
 }

@@ -65,10 +65,16 @@ mod tests {
 
     #[test]
     fn arg_parse_falls_back_to_default() {
-        let args: Vec<String> = ["prog", "--nodes", "oops"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["prog", "--nodes", "oops"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_parse(&args, "nodes", 64usize), 64);
         assert_eq!(arg_parse(&args, "absent", 3u64), 3);
-        let ok: Vec<String> = ["prog", "--nodes", "12"].iter().map(|s| s.to_string()).collect();
+        let ok: Vec<String> = ["prog", "--nodes", "12"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_parse(&ok, "nodes", 64usize), 12);
     }
 }

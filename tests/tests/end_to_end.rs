@@ -1,6 +1,6 @@
 //! Cross-crate integration tests: the full pipeline from topology generation
 //! through the CONGEST simulation to sketch queries, exercised end-to-end on
-//! every workload family.
+//! every workload family through the unified scheme API.
 
 use dsketch::prelude::*;
 use dsketch::query::estimate_distance_best_common;
@@ -30,7 +30,10 @@ fn workload_suite() -> Vec<(&'static str, Graph)> {
             random_geometric(64, 0.25, GeneratorConfig::unit(7)),
         ),
         ("waxman", waxman(64, 0.4, 0.3, GeneratorConfig::unit(8))),
-        ("tree", balanced_tree(63, 2, GeneratorConfig::uniform(9, 1, 12))),
+        (
+            "tree",
+            balanced_tree(63, 2, GeneratorConfig::uniform(9, 1, 12)),
+        ),
     ]
 }
 
@@ -38,16 +41,14 @@ fn workload_suite() -> Vec<(&'static str, Graph)> {
 fn tz_stretch_guarantee_holds_on_every_family() {
     for (name, graph) in workload_suite() {
         let k = 3;
-        let result = DistributedTz::run(
-            &graph,
-            &TzParams::new(k).with_seed(11),
-            DistributedTzConfig::default(),
-        );
+        let result = ThorupZwickScheme::new(k)
+            .build(&graph, &SchemeConfig::default().with_seed(11))
+            .unwrap();
         let table = DistanceTable::exact(&graph);
         let bound = (2 * k - 1) as u64;
+        assert_eq!(result.sketches.stretch_bound(), Some(bound));
         for (u, v, exact) in table.pairs() {
-            let est =
-                estimate_distance(result.sketches.sketch(u), result.sketches.sketch(v)).unwrap();
+            let est = result.sketches.estimate(u, v).unwrap();
             assert!(est >= exact, "[{name}] underestimate for ({u},{v})");
             assert!(
                 est <= bound * exact,
@@ -67,16 +68,17 @@ fn distributed_equals_centralized_on_every_family() {
         )
         .unwrap();
         let centralized = CentralizedTz::build(&graph, &h);
-        let oracle = DistributedTz::run_with_hierarchy(
-            &graph,
-            h.clone(),
-            DistributedTzConfig::default(),
-        );
-        let td = DistributedTz::run_with_hierarchy(
-            &graph,
-            h,
-            DistributedTzConfig::default().with_termination_detection(),
-        );
+        let scheme = ThorupZwickScheme::new(3);
+        let oracle = scheme
+            .build_with_hierarchy(&graph, h.clone(), &SchemeConfig::default())
+            .unwrap();
+        let td = scheme
+            .build_with_hierarchy(
+                &graph,
+                h,
+                &SchemeConfig::default().with_termination_detection(),
+            )
+            .unwrap();
         for u in graph.nodes() {
             assert_eq!(
                 centralized.sketches.sketch(u),
@@ -100,11 +102,9 @@ fn construction_rounds_exceed_shortest_path_diameter_only_moderately() {
     // factor of the Theorem 3.8 bound.
     for (name, graph) in workload_suite() {
         let d = diameters(&graph);
-        let result = DistributedTz::run(
-            &graph,
-            &TzParams::new(2).with_seed(3),
-            DistributedTzConfig::default(),
-        );
+        let result = ThorupZwickScheme::new(2)
+            .build(&graph, &SchemeConfig::default().with_seed(3))
+            .unwrap();
         let n = graph.num_nodes() as f64;
         let upper = (2.0 * n.sqrt() * d.shortest_path_diameter as f64 * n.log2()).max(64.0);
         assert!(
@@ -118,17 +118,14 @@ fn construction_rounds_exceed_shortest_path_diameter_only_moderately() {
 #[test]
 fn best_common_query_always_at_least_as_good_as_level_walk() {
     let graph = erdos_renyi(96, 0.08, GeneratorConfig::uniform(17, 1, 30));
-    let result = DistributedTz::run(
-        &graph,
-        &TzParams::new(3).with_seed(5),
-        DistributedTzConfig::default(),
-    );
+    let result = ThorupZwickScheme::new(3)
+        .build(&graph, &SchemeConfig::default().with_seed(5))
+        .unwrap();
+    let sketches = &result.sketches;
     let table = DistanceTable::exact(&graph);
     for (u, v, exact) in table.pairs() {
-        let walk =
-            estimate_distance(result.sketches.sketch(u), result.sketches.sketch(v)).unwrap();
-        let best = estimate_distance_best_common(result.sketches.sketch(u), result.sketches.sketch(v))
-            .unwrap();
+        let walk = result.sketches.estimate(u, v).unwrap();
+        let best = estimate_distance_best_common(sketches.sketch(u), sketches.sketch(v)).unwrap();
         assert!(best <= walk);
         assert!(best >= exact);
     }
@@ -136,35 +133,21 @@ fn best_common_query_always_at_least_as_good_as_level_walk() {
 
 #[test]
 fn slack_constructions_work_on_multiple_families() {
-    use dsketch::slack::cdg::{CdgParams, DistributedCdg};
-    use dsketch::slack::three_stretch::DistributedThreeStretch;
-
     for (name, graph) in workload_suite().into_iter().take(4) {
         let table = DistanceTable::exact(&graph);
         let eps = 0.3;
+        let config = SchemeConfig::default().with_seed(7);
 
-        let three = DistributedThreeStretch::run(
-            &graph,
-            eps,
-            7,
-            congest_sim::CongestConfig::default(),
-            u64::MAX,
-        )
-        .unwrap();
-        let cdg = DistributedCdg::run(
-            &graph,
-            CdgParams::new(eps, 2).with_seed(7),
-            DistributedTzConfig::default(),
-        )
-        .unwrap();
+        let three = ThreeStretchScheme::new(eps).build(&graph, &config).unwrap();
+        let cdg = CdgScheme::new(eps, 2).build(&graph, &config).unwrap();
 
         for (u, v, exact) in table.pairs() {
             if !table.is_eps_far(u, v, eps) {
                 continue;
             }
-            let t = three.estimate(u, v).unwrap();
+            let t = three.sketches.estimate(u, v).unwrap();
             assert!(t >= exact && t <= 3 * exact, "[{name}] 3-stretch violated");
-            let c = cdg.estimate(u, v).unwrap();
+            let c = cdg.sketches.estimate(u, v).unwrap();
             assert!(
                 c >= exact && c <= 15 * exact,
                 "[{name}] CDG (8k-1 = 15) stretch violated: {c} vs {exact}"
@@ -172,7 +155,7 @@ fn slack_constructions_work_on_multiple_families() {
         }
         // The CDG sketch only references net nodes, so it is never larger
         // than the 3-stretch sketch that stores the whole net.
-        assert!(cdg.max_words() <= three.max_words() + 2 * cdg.params.k);
+        assert!(cdg.sketches.max_words() <= three.sketches.max_words() + 2 * cdg.sketches.params.k);
     }
 }
 
@@ -182,18 +165,16 @@ fn exact_oracle_and_landmarks_bracket_tz_accuracy() {
     let graph = erdos_renyi(80, 0.1, GeneratorConfig::uniform(31, 1, 20));
     let oracle = ExactOracle::build(&graph);
     let landmarks = LandmarkSketch::build(&graph, 8, 2);
-    let tz = DistributedTz::run(
-        &graph,
-        &TzParams::new(2).with_seed(2),
-        DistributedTzConfig::default(),
-    );
+    let tz = ThorupZwickScheme::new(2)
+        .build(&graph, &SchemeConfig::default().with_seed(2))
+        .unwrap();
     let table = DistanceTable::exact(&graph);
     let mut tz_sum = 0.0;
     let mut lm_sum = 0.0;
     let mut count = 0usize;
     for (u, v, exact) in table.pairs() {
         assert_eq!(oracle.estimate(u, v).unwrap(), exact);
-        let tz_est = estimate_distance(tz.sketches.sketch(u), tz.sketches.sketch(v)).unwrap();
+        let tz_est = tz.sketches.estimate(u, v).unwrap();
         let lm_est = landmarks.estimate(u, v).unwrap();
         tz_sum += tz_est as f64 / exact.max(1) as f64;
         lm_sum += lm_est as f64 / exact.max(1) as f64;

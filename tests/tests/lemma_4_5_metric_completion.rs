@@ -11,15 +11,16 @@
 //! entry by entry.
 
 use dsketch::prelude::*;
-use dsketch::slack::cdg::{CdgParams, DistributedCdg};
 use netgraph::completion::MetricCompletion;
 use netgraph::generators::{erdos_renyi, grid, GeneratorConfig};
 use netgraph::{Graph, NodeId};
 
 fn check_lemma_4_5(graph: &Graph, eps: f64, k: usize, seed: u64) {
     // 1. Run the distributed net-restricted construction on G.
-    let params = CdgParams::new(eps, k).with_seed(seed);
-    let cdg = DistributedCdg::run(graph, params, DistributedTzConfig::default()).unwrap();
+    let cdg = CdgScheme::new(eps, k)
+        .build(graph, &SchemeConfig::default().with_seed(seed))
+        .unwrap()
+        .sketches;
     let net_members: Vec<NodeId> = cdg.net.members().to_vec();
     assert!(!net_members.is_empty());
 

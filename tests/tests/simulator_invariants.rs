@@ -19,17 +19,21 @@ fn thread_count_does_not_change_results_or_stats() {
 
     let mut results = Vec::new();
     for threads in [1usize, 2, 8] {
-        let config = DistributedTzConfig {
-            congest: CongestConfig {
-                num_threads: threads,
-                ..Default::default()
-            },
+        let config = SchemeConfig::default().with_congest(CongestConfig {
+            num_threads: threads,
             ..Default::default()
-        };
-        results.push(DistributedTz::run_with_hierarchy(&graph, h.clone(), config));
+        });
+        results.push(
+            ThorupZwickScheme::new(3)
+                .build_with_hierarchy(&graph, h.clone(), &config)
+                .unwrap(),
+        );
     }
     for pair in results.windows(2) {
-        assert_eq!(pair[0].stats, pair[1].stats, "stats differ across thread counts");
+        assert_eq!(
+            pair[0].stats, pair[1].stats,
+            "stats differ across thread counts"
+        );
         for u in graph.nodes() {
             assert_eq!(pair[0].sketches.sketch(u), pair[1].sketches.sketch(u));
         }
@@ -42,15 +46,16 @@ fn thread_count_does_not_change_results_or_stats() {
 #[test]
 fn stats_are_internally_consistent() {
     let graph = grid(10, 10, GeneratorConfig::uniform(3, 1, 10));
-    let result = DistributedTz::run(
-        &graph,
-        &TzParams::new(2).with_seed(9),
-        DistributedTzConfig::default(),
-    );
+    let result = ThorupZwickScheme::new(2)
+        .build(&graph, &SchemeConfig::default().with_seed(9))
+        .unwrap();
     let stats = &result.stats;
     assert!(stats.active_rounds <= stats.rounds);
     assert!(stats.max_messages_in_round <= stats.messages);
-    assert!(stats.words >= stats.messages, "every message carries at least one word");
+    assert!(
+        stats.words >= stats.messages,
+        "every message carries at least one word"
+    );
     assert_eq!(stats.bandwidth_violations, 0);
     // Phase stats sum to the total in oracle mode.
     let phase_total: u64 = result.phase_stats.iter().map(|s| s.messages).sum();
@@ -93,11 +98,10 @@ fn bfs_tree_and_k_source_agree_with_centralized_computations() {
 #[test]
 fn oracle_mode_runs_under_strict_bandwidth() {
     let graph = grid(9, 9, GeneratorConfig::uniform(5, 1, 8));
-    let config = DistributedTzConfig {
-        congest: CongestConfig::strict(),
-        ..Default::default()
-    };
-    let result = DistributedTz::run(&graph, &TzParams::new(3).with_seed(2), config);
+    let config = SchemeConfig::default()
+        .with_seed(2)
+        .with_congest(CongestConfig::strict());
+    let result = ThorupZwickScheme::new(3).build(&graph, &config).unwrap();
     assert_eq!(result.stats.bandwidth_violations, 0);
     assert!(result.sketches.max_words() > 0);
 }
@@ -107,11 +111,9 @@ fn oracle_mode_runs_under_strict_bandwidth() {
 #[test]
 fn word_accounting_matches_message_types() {
     let graph = erdos_renyi(64, 0.1, GeneratorConfig::uniform(21, 1, 10));
-    let result = DistributedTz::run(
-        &graph,
-        &TzParams::new(2).with_seed(6),
-        DistributedTzConfig::default(),
-    );
+    let result = ThorupZwickScheme::new(2)
+        .build(&graph, &SchemeConfig::default().with_seed(6))
+        .unwrap();
     // Oracle mode sends only SourcedAnnouncement messages (2 words each).
     assert_eq!(result.stats.words, 2 * result.stats.messages);
 }

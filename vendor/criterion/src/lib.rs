@@ -1,0 +1,279 @@
+//! Offline stand-in for the crates.io `criterion` benchmark harness.
+//!
+//! Implements the API surface the workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Throughput`] — as a plain timing loop: each benchmark
+//! body is run `sample_size` times and the mean/min wall-clock times are
+//! printed.  No statistical analysis, plots, or CLI filtering.
+//!
+//! Benches are declared with `harness = false` in the manifest, exactly as
+//! they would be with the real criterion, so swapping the real crate back in
+//! requires no source changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: a function name plus an optional parameter, printed
+/// as `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, like `distributed/3`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id consisting of a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            text: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// Throughput annotation for a benchmark group (recorded, printed alongside
+/// timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to every benchmark body; runs the measured closure.
+pub struct Bencher {
+    iterations: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, running it once per configured sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            let out = routine();
+            self.samples.push(start.elapsed());
+            drop(out);
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    harness: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed iterations each benchmark runs (min 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Record the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, &mut f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Explicitly end the group (all output is printed eagerly, so this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let iterations = self.sample_size.min(self.harness.max_sample_size);
+        let mut bencher = Bencher {
+            iterations,
+            samples: Vec::with_capacity(iterations),
+        };
+        f(&mut bencher);
+        let samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{}/{}: no samples recorded", self.name, id);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.0} elem/s)", n as f64 / mean.as_secs_f64().max(1e-12))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.0} B/s)", n as f64 / mean.as_secs_f64().max(1e-12))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{}: mean {:?}, min {:?} over {} iter{}",
+            self.name,
+            id,
+            mean,
+            min,
+            samples.len(),
+            throughput
+        );
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    max_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `--quick-bench` (or the env var) caps every benchmark at one
+        // iteration so the suite can be smoke-tested cheaply.
+        let quick = std::env::args().any(|a| a == "--quick-bench")
+            || std::env::var_os("CRITERION_QUICK").is_some();
+        Criterion {
+            max_sample_size: if quick { 1 } else { usize::MAX },
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            harness: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_samples() {
+        let mut c = Criterion {
+            max_sample_size: usize::MAX,
+        };
+        let mut runs = 0usize;
+        {
+            let mut group = c.benchmark_group("test");
+            group.sample_size(3);
+            group.bench_function("count", |b| b.iter(|| runs += 1));
+            group.finish();
+        }
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion {
+            max_sample_size: usize::MAX,
+        };
+        let mut seen = 0u64;
+        {
+            let mut group = c.benchmark_group("test");
+            group.sample_size(1);
+            group.throughput(Throughput::Elements(7));
+            group.bench_with_input(BenchmarkId::new("input", 7), &7u64, |b, &x| {
+                b.iter(|| seen = x)
+            });
+        }
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

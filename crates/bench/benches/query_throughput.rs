@@ -1,0 +1,70 @@
+//! Criterion bench for the serving layer: direct oracle calls vs the
+//! sharded server, single vs batched submission, cache-friendly vs
+//! cache-adversarial traffic.
+//!
+//! The interesting comparisons: batching should recover most of the channel
+//! round-trip cost that single queries pay, and hotspot traffic should beat
+//! adversarial traffic thanks to the per-shard LRU caches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsketch::prelude::*;
+use dsketch_bench::workloads::{QueryWorkload, Workload, WorkloadSpec};
+use dsketch_serve::{ServeConfig, SketchServer};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_query_throughput(c: &mut Criterion) {
+    let spec = WorkloadSpec::new(Workload::ErdosRenyi, 192, 13);
+    let graph = spec.build();
+    let outcome = SketchBuilder::thorup_zwick(3)
+        .seed(5)
+        .build(&graph)
+        .unwrap();
+    let oracle: Arc<dyn DistanceOracle> = Arc::from(outcome.sketches);
+    let n = graph.num_nodes();
+
+    let mut group = c.benchmark_group("query_throughput");
+    for shape in QueryWorkload::all() {
+        let pairs = shape.generate(n, 4096, 7);
+
+        group.bench_function(format!("direct/{}", shape.name()), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for &(u, v) in &pairs {
+                    total += oracle.estimate(u, v).unwrap_or(0);
+                }
+                black_box(total)
+            })
+        });
+
+        let server = SketchServer::start(Arc::clone(&oracle), ServeConfig::default()).unwrap();
+        let client = server.client();
+        group.bench_function(format!("server_batched/{}", shape.name()), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for chunk in pairs.chunks(256) {
+                    for result in client.query_batch(chunk) {
+                        total += result.unwrap_or(0);
+                    }
+                }
+                black_box(total)
+            })
+        });
+        group.sample_size(10);
+        group.bench_function(format!("server_single/{}", shape.name()), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for &(u, v) in &pairs[..512] {
+                    total += client.query(u, v).unwrap_or(0);
+                }
+                black_box(total)
+            })
+        });
+        drop(client);
+        drop(server);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_throughput);
+criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! `dsketch-serve` — build a sketch, start the sharded query server, replay
+//! synthetic traffic, report throughput and cache statistics.
+//!
+//! The end-to-end demonstration of the paper's serving economics: pay the
+//! CONGEST construction once, then serve query traffic from labels alone.
+//!
+//! ```text
+//! cargo run --release -p dsketch-bench --bin dsketch-serve -- \
+//!     --scheme tz:3 --nodes 512 --queries 100000 --shards 4
+//!
+//! # a single workload shape, a different scheme and topology
+//! cargo run --release -p dsketch-bench --bin dsketch-serve -- \
+//!     --scheme cdg:0.2,2 --topology grid --workload hotspot --cache 1024
+//! ```
+//!
+//! Flags (all optional): `--scheme tz:3|3stretch:ε|cdg:ε,k|degrading[:k]`,
+//! `--topology erdos-renyi|grid|ring|power-law`, `--nodes N`,
+//! `--queries N`, `--shards N`, `--batch N`, `--cache N` (0 disables),
+//! `--queue N`, `--workload uniform|hotspot|adversarial|all`, `--seed N`.
+
+use dsketch::prelude::*;
+use dsketch_bench::workloads::{QueryWorkload, Workload, WorkloadSpec};
+use dsketch_bench::Table;
+use dsketch_serve::{ServeConfig, SketchServer};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    args.iter()
+        .position(|a| a == &flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn arg_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    arg_value(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scheme_text = arg_value(&args, "scheme").unwrap_or_else(|| "tz:3".to_string());
+    let topology_text = arg_value(&args, "topology").unwrap_or_else(|| "erdos-renyi".to_string());
+    let workload_text = arg_value(&args, "workload").unwrap_or_else(|| "all".to_string());
+    let n: usize = arg_parse(&args, "nodes", 512);
+    let queries: usize = arg_parse(&args, "queries", 100_000);
+    let shards: usize = arg_parse(&args, "shards", 4);
+    let batch: usize = arg_parse(&args, "batch", 256);
+    let cache: usize = arg_parse(&args, "cache", 4096);
+    let queue: usize = arg_parse(&args, "queue", 64);
+    let seed: u64 = arg_parse(&args, "seed", 42);
+
+    let spec = SchemeSpec::parse(&scheme_text).unwrap_or_else(|e| {
+        eprintln!("--scheme {scheme_text}: {e}");
+        std::process::exit(2);
+    });
+    let topology = Workload::all()
+        .into_iter()
+        .find(|w| w.name() == topology_text)
+        .unwrap_or_else(|| {
+            eprintln!(
+                "--topology {topology_text}: unknown (known: {:?})",
+                Workload::all().map(|w| w.name())
+            );
+            std::process::exit(2);
+        });
+    let shapes: Vec<QueryWorkload> = if workload_text == "all" {
+        QueryWorkload::all().to_vec()
+    } else {
+        match QueryWorkload::parse(&workload_text) {
+            Some(shape) => vec![shape],
+            None => {
+                eprintln!(
+                    "--workload {workload_text}: unknown (known: all, {:?})",
+                    QueryWorkload::all().map(|w| w.name())
+                );
+                std::process::exit(2);
+            }
+        }
+    };
+
+    println!("== dsketch-serve: sharded query serving over distance sketches ==\n");
+    let graph_spec = WorkloadSpec::new(topology, n, seed);
+    let graph = graph_spec.build();
+    println!(
+        "graph: {} — n = {}, |E| = {}",
+        graph_spec.label(),
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    print!("building {spec} sketches in the CONGEST simulator… ");
+    let build_started = Instant::now();
+    let outcome = SketchBuilder::new(spec)
+        .seed(seed)
+        .build(&graph)
+        .unwrap_or_else(|e| {
+            eprintln!("construction failed: {e}");
+            std::process::exit(1);
+        });
+    println!("done in {:.1}s", build_started.elapsed().as_secs_f64());
+    println!(
+        "construction: {} rounds, {} messages; labels ≤ {} words/node (avg {:.1})",
+        outcome.stats.rounds,
+        outcome.stats.messages,
+        outcome.sketches.max_words(),
+        outcome.sketches.avg_words()
+    );
+    let oracle: Arc<dyn DistanceOracle> = Arc::from(outcome.sketches);
+
+    let config = ServeConfig {
+        shards,
+        queue_depth: queue,
+        cache_capacity: cache,
+    };
+    println!(
+        "server: {} shards, queue depth {}, per-shard LRU cache {} entries\n",
+        config.shards, config.queue_depth, config.cache_capacity
+    );
+
+    let mut table = Table::new(&[
+        "workload",
+        "queries",
+        "shards",
+        "elapsed ms",
+        "queries/s",
+        "hit rate",
+        "errors",
+        "avg µs/query",
+        "max µs",
+        "imbalance",
+    ]);
+    for shape in shapes {
+        let pairs = shape.generate(graph.num_nodes(), queries, seed);
+
+        // Spot-check the serving path against direct oracle calls on a
+        // throwaway server, so the measured server's caches and counters
+        // stay untouched by the verification traffic.
+        {
+            let checker = SketchServer::start(Arc::clone(&oracle), config).unwrap_or_else(|e| {
+                eprintln!("server start failed: {e}");
+                std::process::exit(1);
+            });
+            let client = checker.client();
+            for &(u, v) in pairs.iter().take(32) {
+                assert_eq!(client.query(u, v), oracle.estimate(u, v), "shard mismatch");
+            }
+        }
+
+        // One fresh server per shape so cache statistics are per-workload.
+        let server = SketchServer::start(Arc::clone(&oracle), config).unwrap_or_else(|e| {
+            eprintln!("server start failed: {e}");
+            std::process::exit(1);
+        });
+        let client = server.client();
+        let replay_started = Instant::now();
+        let mut checksum = 0u64;
+        for chunk in pairs.chunks(batch.max(1)) {
+            for result in client.query_batch(chunk) {
+                checksum = checksum.wrapping_add(result.unwrap_or(u64::MAX));
+            }
+        }
+        let elapsed = replay_started.elapsed();
+        drop(client);
+        let stats = server.shutdown();
+        table.push(vec![
+            shape.name().to_string(),
+            stats.totals.queries.to_string(),
+            stats.num_shards().to_string(),
+            format!("{:.1}", elapsed.as_secs_f64() * 1e3),
+            format!("{:.0}", stats.totals.queries as f64 / elapsed.as_secs_f64()),
+            format!("{:.1}%", 100.0 * stats.totals.hit_rate()),
+            stats.totals.errors.to_string(),
+            format!("{:.2}", stats.totals.avg_latency_nanos() / 1e3),
+            format!("{:.1}", stats.totals.max_latency_nanos as f64 / 1e3),
+            format!("{:.2}", stats.load_imbalance()),
+        ]);
+        println!("[{}] {} (checksum {checksum:x})", shape.name(), stats);
+    }
+    println!("\nreplay summary ({batch}-query batches):");
+    println!("{}", table.to_text());
+}

@@ -15,9 +15,10 @@ use netgraph::apsp::DistanceTable;
 use netgraph::{Graph, NodeId};
 
 /// The experiment identifiers, in DESIGN.md order (`e11` exercises the
-/// scheme-polymorphic API over every family).
-pub const EXPERIMENT_IDS: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+/// scheme-polymorphic API over every family, `e12` the sharded serving
+/// layer built on top of it).
+pub const EXPERIMENT_IDS: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
 ];
 
 /// The output of one experiment.
@@ -60,6 +61,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentResult> {
         "e9" => Some(e9_termination_overhead(quick)),
         "e10" => Some(e10_rounds_scaling(quick)),
         "e11" => Some(e11_scheme_matrix(quick)),
+        "e12" => Some(e12_query_throughput(quick)),
         _ => None,
     }
 }
@@ -633,6 +635,80 @@ fn e11_scheme_matrix(quick: bool) -> ExperimentResult {
     }
 }
 
+/// E12 — serving throughput: the Section 2.1 query path under load.
+///
+/// Builds one oracle per scheme, starts the `dsketch-serve` sharded server
+/// over it, and replays each [`QueryWorkload`] shape in batches.  The
+/// interesting columns: the cache-hit rate spread between hotspot (Zipf)
+/// and adversarial (never-repeating) traffic, and the resulting throughput
+/// difference — plus shard load balance, which the pair-hash routing should
+/// keep near 1.
+fn e12_query_throughput(quick: bool) -> ExperimentResult {
+    use crate::workloads::QueryWorkload;
+    use dsketch_serve::{ServeConfig, SketchServer};
+    use std::sync::Arc;
+
+    // Keep `queries < n²` so the adversarial stream never wraps the pair
+    // space (its zero-hit guarantee only holds for the first n² queries).
+    let n = if quick { 128 } else { 384 };
+    let queries = if quick { 10_000 } else { 100_000 };
+    let batch = 256;
+    let config = ServeConfig::default(); // 4 shards, 4096-entry caches
+    let mut table = Table::new(&[
+        "workload",
+        "scheme",
+        "traffic",
+        "queries",
+        "shards",
+        "queries/s",
+        "hit rate",
+        "errors",
+        "avg µs/query",
+        "imbalance",
+    ]);
+    let spec = WorkloadSpec::new(Workload::ErdosRenyi, n, 42);
+    let graph = spec.build();
+    for scheme in [SchemeSpec::thorup_zwick(3), SchemeSpec::three_stretch(0.3)] {
+        let outcome = SketchBuilder::new(scheme)
+            .seed(13)
+            .build(&graph)
+            .expect("scheme construction");
+        let oracle: Arc<dyn dsketch::DistanceOracle> = Arc::from(outcome.sketches);
+        for shape in QueryWorkload::all() {
+            let server = SketchServer::start(Arc::clone(&oracle), config).expect("server start");
+            let client = server.client();
+            let pairs = shape.generate(n, queries, 7);
+            let started = std::time::Instant::now();
+            for chunk in pairs.chunks(batch) {
+                for _ in client.query_batch(chunk) {}
+            }
+            let elapsed = started.elapsed().as_secs_f64();
+            drop(client);
+            let stats = server.shutdown();
+            table.push(vec![
+                spec.label(),
+                scheme.to_string(),
+                shape.name().to_string(),
+                stats.totals.queries.to_string(),
+                stats.num_shards().to_string(),
+                format!("{:.0}", stats.totals.queries as f64 / elapsed),
+                format!("{:.1}%", 100.0 * stats.totals.hit_rate()),
+                stats.totals.errors.to_string(),
+                format!("{:.2}", stats.totals.avg_latency_nanos() / 1e3),
+                format!("{:.2}", stats.load_imbalance()),
+            ]);
+        }
+    }
+    ExperimentResult {
+        id: "e12",
+        title: "Serving throughput: sharded concurrent queries over one oracle",
+        claim: "after construction, distance queries need no communication and can be served \
+                at memory speed from labels alone (Section 2.1); sharding spreads the load and \
+                an LRU cache converts traffic skew into hit rate",
+        table,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -665,6 +741,31 @@ mod tests {
         for row in &result.table.rows {
             assert_eq!(row[3], "0", "pivot mismatch: {row:?}");
             assert_eq!(row[4], "0", "bunch mismatch: {row:?}");
+        }
+    }
+
+    #[test]
+    fn e12_quick_shows_the_cache_hit_spread() {
+        let result = run_experiment("e12", true).unwrap();
+        assert_eq!(result.id, "e12");
+        // 2 schemes × 3 traffic shapes.
+        assert_eq!(result.table.len(), 6);
+        for row in &result.table.rows {
+            assert_eq!(row[3], "10000", "every replay answers all queries: {row:?}");
+            assert_eq!(row[4], "4", "default shard count: {row:?}");
+            match row[2].as_str() {
+                // Never-repeating pairs defeat any LRU cache.
+                "adversarial" => assert_eq!(row[6], "0.0%", "{row:?}"),
+                // Zipf traffic concentrates on few pairs: hits dominate.
+                "hotspot" => {
+                    let hit: f64 = row[6].trim_end_matches('%').parse().unwrap();
+                    assert!(hit > 50.0, "hotspot should mostly hit: {row:?}");
+                }
+                _ => {}
+            }
+            if row[1].starts_with("tz") {
+                assert_eq!(row[7], "0", "TZ queries never fail: {row:?}");
+            }
         }
     }
 

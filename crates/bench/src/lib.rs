@@ -23,4 +23,4 @@ pub mod workloads;
 
 pub use experiments::{run_experiment, ExperimentResult, EXPERIMENT_IDS};
 pub use table::Table;
-pub use workloads::{Workload, WorkloadSpec};
+pub use workloads::{QueryWorkload, Workload, WorkloadSpec};

@@ -1,12 +1,18 @@
 //! Workload definitions shared by all experiments.
 //!
-//! Every experiment row records the workload it ran on; a [`WorkloadSpec`]
-//! is a named, seeded recipe so that EXPERIMENTS.md rows are reproducible
-//! verbatim.
+//! Two kinds of workload live here.  A [`WorkloadSpec`] is a named, seeded
+//! *topology* recipe — every experiment row records the graph it ran on, so
+//! EXPERIMENTS.md rows are reproducible verbatim.  A [`QueryWorkload`] is a
+//! named, seeded *traffic* recipe — a stream of `(u, v)` query pairs replayed
+//! against a built oracle by the serving experiments (`e12`), the
+//! `query_throughput` bench and the `dsketch-serve` binary.
 
 use netgraph::diameter::{diameters, DiameterReport};
 use netgraph::generators::{erdos_renyi, grid, preferential_attachment, ring, GeneratorConfig};
-use netgraph::Graph;
+use netgraph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
 
 /// The topology family of a workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +103,116 @@ impl WorkloadSpec {
     }
 }
 
+/// The shape of a synthetic query stream replayed against a built oracle.
+///
+/// The three shapes bracket what a result cache can do for a serving layer:
+/// [`QueryWorkload::Hotspot`] is the best case (a few pairs dominate),
+/// [`QueryWorkload::Uniform`] is the typical case (repeats happen by
+/// birthday collisions only), and [`QueryWorkload::Adversarial`] is the
+/// worst case (no pair ever repeats, so every query misses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryWorkload {
+    /// Both endpoints uniform over the nodes, drawn independently.
+    Uniform,
+    /// Zipf-like traffic: endpoint popularity follows a `1/rank` law over a
+    /// seeded permutation of the nodes, like client traffic concentrating on
+    /// popular services.  Small key space ⇒ high cache-hit rate.
+    Hotspot,
+    /// Cache-adversarial traffic: a permutation-style walk over the pair
+    /// space that never repeats a pair (until it has used them all), so an
+    /// LRU result cache of any size gets zero hits.
+    Adversarial,
+}
+
+impl QueryWorkload {
+    /// Short name used in tables and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryWorkload::Uniform => "uniform",
+            QueryWorkload::Hotspot => "hotspot",
+            QueryWorkload::Adversarial => "adversarial",
+        }
+    }
+
+    /// All query shapes, in the order they appear in tables.
+    pub fn all() -> [QueryWorkload; 3] {
+        [
+            QueryWorkload::Uniform,
+            QueryWorkload::Hotspot,
+            QueryWorkload::Adversarial,
+        ]
+    }
+
+    /// Parse a CLI name (as printed by [`QueryWorkload::name`]).
+    pub fn parse(text: &str) -> Option<QueryWorkload> {
+        QueryWorkload::all().into_iter().find(|w| w.name() == text)
+    }
+
+    /// Generate `count` query pairs over nodes `0..n`, deterministically for
+    /// a fixed `(n, count, seed)`.
+    pub fn generate(self, n: usize, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+        assert!(n >= 2, "need at least two nodes to query");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x51ab_71be_11aa_d5a7);
+        match self {
+            QueryWorkload::Uniform => (0..count)
+                .map(|_| {
+                    (
+                        NodeId::from_index(rng.gen_range(0..n)),
+                        NodeId::from_index(rng.gen_range(0..n)),
+                    )
+                })
+                .collect(),
+            QueryWorkload::Hotspot => {
+                // Zipf ranks over a seeded permutation of the nodes, sampled
+                // by binary search on the cumulative 1/rank weights.
+                let mut nodes: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+                nodes.shuffle(&mut rng);
+                let mut cumulative = Vec::with_capacity(n);
+                let mut total = 0.0f64;
+                for rank in 0..n {
+                    total += 1.0 / (rank + 1) as f64;
+                    cumulative.push(total);
+                }
+                let draw = |rng: &mut StdRng| {
+                    let target = rng.gen_range(0.0..total);
+                    let idx = cumulative.partition_point(|&c| c <= target);
+                    nodes[idx.min(n - 1)]
+                };
+                (0..count)
+                    .map(|_| (draw(&mut rng), draw(&mut rng)))
+                    .collect()
+            }
+            QueryWorkload::Adversarial => {
+                // Visit pair indices `first + t·step (mod n²)` with `step`
+                // coprime to n²: a full cycle, so no pair repeats within n²
+                // queries.
+                let space = (n * n) as u64;
+                let first = rng.gen_range(0..space);
+                let mut step = rng.gen_range(1..space) | 1;
+                while gcd(step, space) != 1 {
+                    step = (step + 2) % space.max(3);
+                    step |= 1;
+                }
+                let mut pair = first;
+                (0..count)
+                    .map(|_| {
+                        let (u, v) = ((pair / n as u64) as usize, (pair % n as u64) as usize);
+                        pair = (pair + step) % space;
+                        (NodeId::from_index(u), NodeId::from_index(v))
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +243,66 @@ mod tests {
             "ring(n=64)"
         );
         assert_eq!(Workload::all().len(), 4);
+    }
+
+    #[test]
+    fn query_workloads_are_deterministic_and_in_range() {
+        for shape in QueryWorkload::all() {
+            let a = shape.generate(64, 500, 9);
+            let b = shape.generate(64, 500, 9);
+            assert_eq!(a, b, "{} must be reproducible", shape.name());
+            assert_eq!(a.len(), 500);
+            assert!(a.iter().all(|&(u, v)| u.index() < 64 && v.index() < 64));
+            assert_ne!(a, shape.generate(64, 500, 10), "seed must matter");
+        }
+    }
+
+    #[test]
+    fn adversarial_never_repeats_a_pair() {
+        let pairs = QueryWorkload::Adversarial.generate(32, 1000, 3);
+        let distinct: std::collections::HashSet<_> = pairs.iter().collect();
+        assert_eq!(
+            distinct.len(),
+            pairs.len(),
+            "1000 < 32² pairs, all distinct"
+        );
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let n = 100;
+        let pairs = QueryWorkload::Hotspot.generate(n, 10_000, 7);
+        let mut counts = vec![0usize; n];
+        for (u, v) in pairs {
+            counts[u.index()] += 1;
+            counts[v.index()] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top_decile: usize = counts[..n / 10].iter().sum();
+        let total: usize = counts.iter().sum();
+        assert!(
+            top_decile * 2 > total,
+            "top 10% of nodes should carry over half the Zipf traffic \
+             ({top_decile}/{total})"
+        );
+        // Uniform traffic, by contrast, spreads endpoints evenly.
+        let uniform = QueryWorkload::Uniform.generate(n, 10_000, 7);
+        let mut ucounts = vec![0usize; n];
+        for (u, v) in uniform {
+            ucounts[u.index()] += 1;
+            ucounts[v.index()] += 1;
+        }
+        ucounts.sort_unstable_by(|a, b| b.cmp(a));
+        let utop: usize = ucounts[..n / 10].iter().sum();
+        assert!(utop * 2 < total, "uniform top decile stays near 10%");
+    }
+
+    #[test]
+    fn query_workload_names_round_trip() {
+        for shape in QueryWorkload::all() {
+            assert_eq!(QueryWorkload::parse(shape.name()), Some(shape));
+        }
+        assert_eq!(QueryWorkload::parse("nope"), None);
     }
 
     #[test]

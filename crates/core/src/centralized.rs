@@ -1,4 +1,4 @@
-//! The centralized Thorup–Zwick construction (Section 3.1, [TZ05]).
+//! The centralized Thorup–Zwick construction (Section 3.1, \[TZ05\]).
 //!
 //! The centralized algorithm is the baseline the paper distributes.  It is
 //! implemented here for two reasons: (1) it is the correctness oracle — given
@@ -7,7 +7,7 @@
 //! E8 asserts this bit-for-bit); and (2) the experiment harness compares the
 //! centralized construction cost against the distributed round/message cost.
 //!
-//! The construction follows [TZ05]:
+//! The construction follows \[TZ05\]:
 //!
 //! 1. for every level `i`, compute `d(u, A_i)` and the pivot `p_i(u)` with a
 //!    multi-source Dijkstra whose keys are [`DistKey`]s (lexicographic

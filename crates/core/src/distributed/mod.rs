@@ -120,6 +120,8 @@ pub(crate) fn build_with_hierarchy(
 ///
 /// Deprecated: every method has a [`crate::scheme`] equivalent that shares
 /// its configuration and result shape with the other three sketch families.
+/// See the [crate-level migration table](crate#migrating-from-the-deprecated-run-entry-points)
+/// for the full old → new mapping.
 pub struct DistributedTz;
 
 impl DistributedTz {

@@ -21,15 +21,15 @@
 //! rounds, then answer distance queries from two labels alone* — and the
 //! public API is organized around exactly that shape:
 //!
-//! * [`SketchScheme`](scheme::SketchScheme) — the construction side.  Each
+//! * [`SketchScheme`] — the construction side.  Each
 //!   scheme is a cheap value type (`ThorupZwickScheme { k: 3 }`) whose
 //!   `build(&graph, &SchemeConfig)` runs the distributed construction and
-//!   returns a [`BuildOutcome`](scheme::BuildOutcome): the sketches plus the
+//!   returns a [`BuildOutcome`]: the sketches plus the
 //!   shared round/message/word statistics every theorem is stated in.
-//! * [`DistanceOracle`](oracle::DistanceOracle) — the query side.  Every
+//! * [`DistanceOracle`] — the query side.  Every
 //!   sketch-set type answers `estimate(u, v)` from the two labels alone and
 //!   reports its per-node size in CONGEST words.
-//! * [`SchemeSpec`](scheme::SchemeSpec) / [`SketchBuilder`](scheme::SketchBuilder)
+//! * [`SchemeSpec`] / [`SketchBuilder`]
 //!   — runtime scheme selection.  A spec can be parsed from a string
 //!   (`"tz:3"`, `"cdg:0.2,2"`), built fluently, and queried through
 //!   `Box<dyn DistanceOracle>`, so evaluation harnesses, benches and serving
@@ -103,6 +103,38 @@
 //! * [`eval`] — stretch evaluation over any `DistanceOracle` (worst-case /
 //!   average / percentiles, slack-aware variants).
 //! * [`baseline`] — exact-oracle and landmark baselines for comparison.
+//!
+//! # Migrating from the deprecated `run()` entry points
+//!
+//! The original per-scheme entry points (`DistributedTz`,
+//! `DistributedThreeStretch`, `DistributedCdg`, `DistributedDegrading`) are
+//! kept as `#[deprecated]` shims and still produce bit-identical sketches,
+//! but new code should use the [`SketchScheme`] implementations, which share
+//! one config ([`SchemeConfig`]) and one result shape ([`BuildOutcome`])
+//! across all four families:
+//!
+//! | deprecated call | replacement |
+//! |---|---|
+//! | `DistributedTz::run(g, &TzParams::new(k).with_seed(s), cfg)` | [`ThorupZwickScheme`]`::new(k).build(g, &config)` |
+//! | `DistributedTz::try_run(…)` | same — `SketchScheme::build` is already fallible |
+//! | `DistributedTz::run_with_hierarchy(g, h, cfg)` / `try_run_with_hierarchy` | [`ThorupZwickScheme::build_with_hierarchy`]`(g, h, &config)` |
+//! | `DistributedThreeStretch::run(g, eps, seed, congest, max)` | [`ThreeStretchScheme`]`::new(eps).build(g, &config)` |
+//! | `DistributedCdg::run(g, params, cfg)` | [`CdgScheme`]`::new(eps, k).build(g, &config)` |
+//! | `DistributedDegrading::run(g, params, cfg)` | [`DegradingScheme`]`::new().build(g, &config)` |
+//! | `evaluate_sketches` / `evaluate_sketches_sampled` | [`evaluate_oracle`] / [`evaluate_oracle_sampled`] (a `SketchSet` **is** a `DistanceOracle`) |
+//!
+//! The old `run()` shims return the per-scheme result structs
+//! (`TzBuildResult`, bare sketch sets); the scheme API returns the same data
+//! inside a [`BuildOutcome`] — `result.sketches` / `result.stats` map
+//! directly onto `outcome.sketches` / `outcome.stats`.  When the scheme is
+//! only known at runtime, go through [`SchemeSpec`] / [`SketchBuilder`]
+//! instead of matching on families yourself.  Per-shim equivalence tests
+//! (`deprecated_shim_matches_scheme_api`) pin the old and new paths to the
+//! same output for as long as the shims exist.
+//!
+//! [`ThorupZwickScheme::build_with_hierarchy`]: scheme::ThorupZwickScheme::build_with_hierarchy
+//! [`evaluate_oracle`]: eval::evaluate_oracle
+//! [`evaluate_oracle_sampled`]: eval::evaluate_oracle_sampled
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

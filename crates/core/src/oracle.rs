@@ -26,7 +26,26 @@ use netgraph::{Distance, NodeId};
 /// Estimates are always **upper bounds**: `estimate(u, v) ≥ d(u, v)`.  How
 /// tight the bound is depends on the scheme; [`DistanceOracle::stretch_bound`]
 /// reports the scheme's nominal guarantee.
-pub trait DistanceOracle {
+///
+/// The trait requires `Send + Sync`: a built oracle is immutable label data,
+/// and the serving layer (`dsketch-serve`) shares one oracle across query
+/// shards behind an `Arc`.  All four sketch-set types are plain owned data,
+/// so the bound costs implementations nothing.
+///
+/// ```
+/// use dsketch::prelude::*;
+/// use netgraph::generators::{erdos_renyi, GeneratorConfig};
+/// use netgraph::NodeId;
+///
+/// let graph = erdos_renyi(32, 0.2, GeneratorConfig::uniform(1, 1, 9));
+/// let outcome = SketchBuilder::thorup_zwick(2).seed(4).build(&graph).unwrap();
+///
+/// // Single queries and batches answer from labels alone.
+/// let one = outcome.sketches.estimate(NodeId(0), NodeId(9)).unwrap();
+/// let batch = outcome.sketches.estimate_batch(&[(NodeId(0), NodeId(9))]);
+/// assert_eq!(batch[0].as_ref().unwrap(), &one);
+/// ```
+pub trait DistanceOracle: Send + Sync {
     /// Estimate `d(u, v)` from the two nodes' sketches alone.
     ///
     /// Returns [`SketchError::UnknownNode`] when a node is outside the
@@ -34,6 +53,17 @@ pub trait DistanceOracle {
     /// share no landmark (possible on disconnected graphs, and for slack
     /// sketches on near pairs of sparse nets).
     fn estimate(&self, u: NodeId, v: NodeId) -> Result<Distance, SketchError>;
+
+    /// Estimate a batch of pairs, one result per pair, in input order.
+    ///
+    /// The default implementation maps [`DistanceOracle::estimate`] over the
+    /// slice; implementations with a cheaper amortized path (shared lookups,
+    /// remote round-trip pooling) can override it.  Batches are the unit the
+    /// serving layer ships between client and shard threads, so keeping this
+    /// on the trait lets a remote backend answer a whole batch in one hop.
+    fn estimate_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<Result<Distance, SketchError>> {
+        pairs.iter().map(|&(u, v)| self.estimate(u, v)).collect()
+    }
 
     /// Number of nodes the oracle covers.
     fn num_nodes(&self) -> usize;
@@ -125,6 +155,10 @@ impl DistanceOracle for Box<dyn DistanceOracle> {
         (**self).estimate(u, v)
     }
 
+    fn estimate_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<Result<Distance, SketchError>> {
+        (**self).estimate_batch(pairs)
+    }
+
     fn num_nodes(&self) -> usize {
         (**self).num_nodes()
     }
@@ -198,6 +232,29 @@ mod tests {
             DistanceOracle::estimate(&set, NodeId(7), NodeId(0)),
             Err(SketchError::UnknownNode(NodeId(7)))
         ));
+    }
+
+    #[test]
+    fn batch_estimates_match_singles_in_order() {
+        let set = tiny_set();
+        let pairs = [
+            (NodeId(0), NodeId(1)),
+            (NodeId(0), NodeId(0)),
+            (NodeId(0), NodeId(9)),
+        ];
+        let batch = set.estimate_batch(&pairs);
+        assert_eq!(batch.len(), pairs.len());
+        for (result, &(u, v)) in batch.iter().zip(&pairs) {
+            assert_eq!(result, &DistanceOracle::estimate(&set, u, v));
+        }
+        assert!(matches!(batch[2], Err(SketchError::UnknownNode(NodeId(9)))));
+    }
+
+    #[test]
+    fn oracles_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn DistanceOracle>();
+        assert_send_sync::<SketchSet>();
     }
 
     #[test]

@@ -535,6 +535,27 @@ impl SchemeSpec {
     /// * `cdg:0.2,2` — CDG with ε = 0.2 and `k = 2`
     /// * `degrading`, `degrading:4` (cap `k`), or keyed caps in any order:
     ///   `degrading:k=4`, `degrading:layers=3`, `degrading:k=4,layers=3`
+    ///
+    /// Unrecognized scheme names and malformed parameters are rejected with
+    /// [`SketchError::InvalidParameters`]; every spec's [`Display`] form
+    /// parses back to the same spec.
+    ///
+    /// ```
+    /// use dsketch::prelude::*;
+    ///
+    /// assert_eq!(SchemeSpec::parse("tz:3").unwrap(), SchemeSpec::thorup_zwick(3));
+    /// assert_eq!(
+    ///     SchemeSpec::parse("cdg:0.2,2").unwrap(),
+    ///     SchemeSpec::cdg(0.2, 2)
+    /// );
+    /// assert!(SchemeSpec::parse("unknown:1").is_err());
+    ///
+    /// // Display round-trips through parse.
+    /// let spec = SchemeSpec::three_stretch(0.25);
+    /// assert_eq!(SchemeSpec::parse(&spec.to_string()).unwrap(), spec);
+    /// ```
+    ///
+    /// [`Display`]: std::fmt::Display
     pub fn parse(text: &str) -> Result<Self, SketchError> {
         let invalid = || SketchError::InvalidParameters(format!("unrecognized scheme '{text}'"));
         let (name, args) = match text.split_once(':') {
@@ -631,6 +652,21 @@ impl std::fmt::Display for SchemeSpec {
 
 /// Fluent constructor over [`SchemeSpec`] + [`SchemeConfig`]: pick a scheme,
 /// chain configuration, build, query through `Box<dyn DistanceOracle>`.
+///
+/// ```
+/// use dsketch::prelude::*;
+/// use netgraph::generators::{erdos_renyi, GeneratorConfig};
+/// use netgraph::NodeId;
+///
+/// let graph = erdos_renyi(48, 0.15, GeneratorConfig::uniform(5, 1, 20));
+/// let outcome = SketchBuilder::thorup_zwick(2)
+///     .seed(7)
+///     .max_rounds(1_000_000)
+///     .build(&graph)
+///     .unwrap();
+/// assert_eq!(outcome.sketches.scheme_name(), "thorup-zwick");
+/// assert!(outcome.sketches.estimate(NodeId(0), NodeId(1)).unwrap() > 0);
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct SketchBuilder {
     spec: SchemeSpec,

@@ -176,7 +176,8 @@ pub(crate) fn build(
 }
 
 /// Builder for (ε, k)-CDG sketches (deprecated shim over
-/// [`crate::scheme::CdgScheme`]).
+/// [`crate::scheme::CdgScheme`]; see the
+/// [crate-level migration table](crate#migrating-from-the-deprecated-run-entry-points)).
 pub struct DistributedCdg;
 
 impl DistributedCdg {

@@ -167,7 +167,8 @@ pub(crate) fn build(
 }
 
 /// Builder for gracefully degrading sketches (deprecated shim over
-/// [`crate::scheme::DegradingScheme`]).
+/// [`crate::scheme::DegradingScheme`]; see the
+/// [crate-level migration table](crate#migrating-from-the-deprecated-run-entry-points)).
 pub struct DistributedDegrading;
 
 impl DistributedDegrading {

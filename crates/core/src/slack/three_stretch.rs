@@ -112,7 +112,8 @@ pub(crate) fn build(
 }
 
 /// Builder for Theorem 4.3 sketches (deprecated shim over
-/// [`crate::scheme::ThreeStretchScheme`]).
+/// [`crate::scheme::ThreeStretchScheme`]; see the
+/// [crate-level migration table](crate#migrating-from-the-deprecated-run-entry-points)).
 pub struct DistributedThreeStretch;
 
 impl DistributedThreeStretch {

@@ -10,8 +10,8 @@
 //! | [`random_geometric`] | `S = Θ(√n)` | wireless / proximity overlays |
 //! | [`grid`] / torus | `S = Θ(√n)` | structured overlays, worst-ish case for Bellman–Ford |
 //! | [`ring`] | `S = Θ(n)` | adversarial high-S case (round bounds are tight in S) |
-//! | [`tree`] | `S = Θ(log n)`..`Θ(n)` | hierarchical overlays |
-//! | [`preferential`] | power-law degrees | social/P2P networks (Section 2.1) |
+//! | [`random_tree`] / [`balanced_tree`] | `S = Θ(log n)`..`Θ(n)` | hierarchical overlays |
+//! | [`preferential_attachment`] | power-law degrees | social/P2P networks (Section 2.1) |
 //! | [`waxman`] | Internet-like locality | classic Internet topology model |
 //!
 //! Every generator takes an explicit RNG seed and a [`WeightModel`]; all

@@ -1,0 +1,416 @@
+//! The sharded query server: worker threads, bounded queues, shard routing.
+//!
+//! One [`SketchServer`] owns `shards` worker threads.  Every worker holds a
+//! clone of one `Arc<dyn DistanceOracle>` (the labels are immutable, so
+//! sharing is free), its own bounded request queue, and its own
+//! [`LruCache`] — routing is deterministic per query pair, so each pair
+//! lives in exactly one shard's cache and workers never take a lock on the
+//! hot path.
+//!
+//! ```text
+//!                  ServeClient (one per caller thread)
+//!                    │  shard_of(u, v) routes each pair
+//!        ┌───────────┼───────────────┐
+//!        ▼           ▼               ▼
+//!   [queue 0]    [queue 1]  …   [queue S−1]     bounded sync channels
+//!        │           │               │
+//!   worker 0     worker 1       worker S−1      one thread per shard
+//!   LRU cache    LRU cache      LRU cache       private, no locks
+//!        └───────────┴───────┬───────┘
+//!                            ▼
+//!               Arc<dyn DistanceOracle>          shared, read-only labels
+//! ```
+
+use crate::cache::LruCache;
+use crate::stats::{ServeStats, ShardCounters};
+use dsketch::{DistanceOracle, SketchError};
+use netgraph::{Distance, NodeId};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Sizing of a [`SketchServer`]: shard count, queue depth, cache capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Number of worker shards (threads).  Must be ≥ 1.
+    pub shards: usize,
+    /// Bound of each shard's request queue, in batches.  Must be ≥ 1; a
+    /// full queue applies backpressure to clients instead of buffering
+    /// without limit.
+    pub queue_depth: usize,
+    /// Capacity of each shard's LRU result cache, in entries.  `0` disables
+    /// caching (every query consults the oracle).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            queue_depth: 64,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Replace the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Replace the per-shard queue depth.
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Replace the per-shard cache capacity (`0` disables caching).
+    pub fn with_cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.cache_capacity = cache_capacity;
+        self
+    }
+
+    fn validate(&self) -> Result<(), SketchError> {
+        if self.shards == 0 {
+            return Err(SketchError::InvalidParameters(
+                "ServeConfig::shards must be >= 1".to_string(),
+            ));
+        }
+        if self.queue_depth == 0 {
+            return Err(SketchError::InvalidParameters(
+                "ServeConfig::queue_depth must be >= 1".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One batch of work for one shard: the pairs to answer, each tagged with
+/// its index in the client's original batch, and the channel to reply on.
+struct Job {
+    pairs: Vec<(usize, NodeId, NodeId)>,
+    reply: Sender<Vec<(usize, Result<Distance, SketchError>)>>,
+}
+
+/// The shard a pair is routed to: a SplitMix64 finalizer over the ordered
+/// pair, reduced modulo the shard count.  Deterministic, so repeated queries
+/// for the same pair always land on the same shard (and therefore the same
+/// cache), and well mixed, so hot nodes still spread across shards by their
+/// partner node.
+fn shard_of(u: NodeId, v: NodeId, shards: usize) -> usize {
+    let mut z = ((u.0 as u64) << 32 | v.0 as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards as u64) as usize
+}
+
+/// The worker loop: drain batches, answer each pair cache-first, reply.
+fn run_worker(
+    oracle: Arc<dyn DistanceOracle>,
+    rx: Receiver<Job>,
+    counters: Arc<ShardCounters>,
+    cache_capacity: usize,
+) {
+    let mut cache: LruCache<(NodeId, NodeId), Distance> = LruCache::new(cache_capacity);
+    while let Ok(job) = rx.recv() {
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        let mut results = Vec::with_capacity(job.pairs.len());
+        for &(index, u, v) in &job.pairs {
+            let start = Instant::now();
+            let result = match cache.get(&(u, v)) {
+                Some(&distance) => {
+                    counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    Ok(distance)
+                }
+                None => {
+                    counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    let result = oracle.estimate(u, v);
+                    if let Ok(distance) = result {
+                        cache.insert((u, v), distance);
+                    }
+                    result
+                }
+            };
+            counters.record_latency(start.elapsed().as_nanos() as u64);
+            counters.queries.fetch_add(1, Ordering::Relaxed);
+            if result.is_err() {
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            results.push((index, result));
+        }
+        // A client that has gone away is not an error; drop the reply.
+        let _ = job.reply.send(results);
+    }
+}
+
+/// A sharded, cached query server over any [`DistanceOracle`].
+///
+/// Start one with [`SketchServer::start`], hand each querying thread a
+/// [`ServeClient`] from [`SketchServer::client`], and read counters at any
+/// time with [`SketchServer::stats`].  Dropping the server (or calling
+/// [`SketchServer::shutdown`]) closes the queues and joins the workers;
+/// outstanding clients keep their shards alive until they are dropped too,
+/// so drop clients first.
+pub struct SketchServer {
+    senders: Vec<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    counters: Vec<Arc<ShardCounters>>,
+    config: ServeConfig,
+}
+
+impl SketchServer {
+    /// Spawn the worker shards over `oracle`.
+    ///
+    /// Fails with [`SketchError::InvalidParameters`] when the config asks
+    /// for zero shards or a zero queue depth.
+    pub fn start(
+        oracle: Arc<dyn DistanceOracle>,
+        config: ServeConfig,
+    ) -> Result<SketchServer, SketchError> {
+        config.validate()?;
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        let mut counters = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
+            let shard_counters = Arc::new(ShardCounters::default());
+            let worker_oracle = Arc::clone(&oracle);
+            let worker_counters = Arc::clone(&shard_counters);
+            let cache_capacity = config.cache_capacity;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("dsketch-serve-{shard}"))
+                    .spawn(move || run_worker(worker_oracle, rx, worker_counters, cache_capacity))
+                    .expect("spawn query shard"),
+            );
+            senders.push(tx);
+            counters.push(shard_counters);
+        }
+        Ok(SketchServer {
+            senders,
+            workers,
+            counters,
+            config,
+        })
+    }
+
+    /// The sizing the server was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Number of worker shards.
+    pub fn num_shards(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// A handle for submitting queries.  Clients are cheap (one channel
+    /// sender per shard), `Send`, and independent: give each querying thread
+    /// its own.
+    pub fn client(&self) -> ServeClient {
+        ServeClient {
+            senders: self.senders.clone(),
+        }
+    }
+
+    /// Snapshot the per-shard and aggregate counters.
+    pub fn stats(&self) -> ServeStats {
+        let per_shard: Vec<_> = self.counters.iter().map(|c| c.snapshot()).collect();
+        let mut totals = crate::stats::ShardStats::default();
+        for shard in &per_shard {
+            totals.absorb(shard);
+        }
+        ServeStats { totals, per_shard }
+    }
+
+    /// Close the queues, join all workers, and return the final counters.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.join_workers();
+        self.stats()
+    }
+
+    fn join_workers(&mut self) {
+        self.senders.clear(); // workers exit when every sender is gone
+        for worker in self.workers.drain(..) {
+            worker.join().expect("query shard panicked");
+        }
+    }
+}
+
+impl Drop for SketchServer {
+    fn drop(&mut self) {
+        self.join_workers();
+    }
+}
+
+/// A client handle: routes queries to shards and waits for the answers.
+///
+/// Obtained from [`SketchServer::client`].  A client is `Send` but not
+/// `Sync`; clone one per thread instead of sharing one behind a reference.
+#[derive(Clone)]
+pub struct ServeClient {
+    senders: Vec<SyncSender<Job>>,
+}
+
+impl ServeClient {
+    /// Answer one query through its shard.
+    ///
+    /// Equivalent to a one-element [`ServeClient::query_batch`]; the result
+    /// is exactly what [`DistanceOracle::estimate`] returns for `(u, v)`.
+    pub fn query(&self, u: NodeId, v: NodeId) -> Result<Distance, SketchError> {
+        self.query_batch(&[(u, v)]).pop().expect("one result")
+    }
+
+    /// Answer a batch of queries, fanning out to every shard involved and
+    /// reassembling the answers in input order.
+    ///
+    /// Batching amortizes the channel round-trip: all pairs for one shard
+    /// travel in one message, and different shards answer concurrently.
+    pub fn query_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<Result<Distance, SketchError>> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let shards = self.senders.len();
+        let mut per_shard: Vec<Vec<(usize, NodeId, NodeId)>> = vec![Vec::new(); shards];
+        for (index, &(u, v)) in pairs.iter().enumerate() {
+            per_shard[shard_of(u, v, shards)].push((index, u, v));
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let mut jobs_sent = 0usize;
+        for (shard, shard_pairs) in per_shard.into_iter().enumerate() {
+            if shard_pairs.is_empty() {
+                continue;
+            }
+            self.senders[shard]
+                .send(Job {
+                    pairs: shard_pairs,
+                    reply: reply_tx.clone(),
+                })
+                .expect("query shard terminated");
+            jobs_sent += 1;
+        }
+        drop(reply_tx);
+        let mut results: Vec<Option<Result<Distance, SketchError>>> = vec![None; pairs.len()];
+        for _ in 0..jobs_sent {
+            let batch = reply_rx.recv().expect("query shard terminated");
+            for (index, result) in batch {
+                results[index] = Some(result);
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every pair answered"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsketch::{SchemeSpec, SketchBuilder};
+    use netgraph::generators::{erdos_renyi, GeneratorConfig};
+
+    fn oracle() -> Arc<dyn DistanceOracle> {
+        let graph = erdos_renyi(40, 0.2, GeneratorConfig::uniform(3, 1, 9));
+        let outcome = SketchBuilder::new(SchemeSpec::thorup_zwick(2))
+            .seed(5)
+            .build(&graph)
+            .unwrap();
+        Arc::from(outcome.sketches)
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        for shards in [1, 2, 4, 7] {
+            for u in 0..20u32 {
+                for v in 0..20u32 {
+                    let s = shard_of(NodeId(u), NodeId(v), shards);
+                    assert!(s < shards);
+                    assert_eq!(s, shard_of(NodeId(u), NodeId(v), shards));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_spreads_pairs_across_shards() {
+        let shards = 4;
+        let mut per_shard = vec![0usize; shards];
+        for u in 0..40u32 {
+            for v in 0..40u32 {
+                per_shard[shard_of(NodeId(u), NodeId(v), shards)] += 1;
+            }
+        }
+        for &count in &per_shard {
+            // 1600 pairs over 4 shards: each shard should be near 400.
+            assert!((200..=600).contains(&count), "imbalanced: {per_shard:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let oracle = oracle();
+        assert!(
+            SketchServer::start(Arc::clone(&oracle), ServeConfig::default().with_shards(0))
+                .is_err()
+        );
+        assert!(SketchServer::start(oracle, ServeConfig::default().with_queue_depth(0)).is_err());
+    }
+
+    #[test]
+    fn server_answers_like_the_oracle_and_counts_queries() {
+        let oracle = oracle();
+        let server = SketchServer::start(Arc::clone(&oracle), ServeConfig::default()).unwrap();
+        assert_eq!(server.num_shards(), 4);
+        let client = server.client();
+        for u in 0..10u32 {
+            for v in 0..10u32 {
+                assert_eq!(
+                    client.query(NodeId(u), NodeId(v)),
+                    oracle.estimate(NodeId(u), NodeId(v))
+                );
+            }
+        }
+        // Unknown nodes come back as errors, not panics, and are counted.
+        assert!(matches!(
+            client.query(NodeId(999), NodeId(0)),
+            Err(SketchError::UnknownNode(NodeId(999)))
+        ));
+        drop(client);
+        let stats = server.shutdown();
+        assert_eq!(stats.totals.queries, 101);
+        assert_eq!(stats.totals.errors, 1);
+        assert_eq!(
+            stats.totals.cache_hits + stats.totals.cache_misses,
+            stats.totals.queries
+        );
+        assert_eq!(stats.num_shards(), 4);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let server = SketchServer::start(oracle(), ServeConfig::default()).unwrap();
+        let client = server.client();
+        assert!(client.query_batch(&[]).is_empty());
+        drop(client);
+        assert_eq!(server.shutdown().totals.queries, 0);
+    }
+
+    #[test]
+    fn stats_can_be_read_while_running() {
+        let server = SketchServer::start(oracle(), ServeConfig::default()).unwrap();
+        let client = server.client();
+        client.query(NodeId(0), NodeId(1)).unwrap();
+        let mid = server.stats();
+        assert_eq!(mid.totals.queries, 1);
+        client.query(NodeId(0), NodeId(1)).unwrap();
+        let later = server.stats();
+        assert_eq!(later.totals.queries, 2);
+        assert_eq!(later.totals.cache_hits, 1, "repeat query hits the cache");
+    }
+}

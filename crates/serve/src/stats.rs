@@ -1,0 +1,221 @@
+//! Query-serving statistics, mirroring the construction-side accounting.
+//!
+//! Construction reports a [`dsketch::RunStats`] per build (total plus
+//! per-phase breakdown in [`dsketch::BuildOutcome`]); serving reports a
+//! [`ServeStats`] per server — the aggregate [`ShardStats`] plus the
+//! per-shard breakdown — so experiment tables can put build cost and serve
+//! cost side by side.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters for one query shard (or, via [`ShardStats::absorb`], a sum over
+/// shards).  A plain snapshot value, like `RunStats` on the build side.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Queries answered (including failed ones).
+    pub queries: u64,
+    /// Queries answered from the shard's LRU cache.
+    pub cache_hits: u64,
+    /// Queries that had to consult the oracle.
+    pub cache_misses: u64,
+    /// Queries that returned an error (unknown node, no common landmark).
+    pub errors: u64,
+    /// Batches (channel messages) processed; `queries / batches` is the mean
+    /// batch size reaching this shard.
+    pub batches: u64,
+    /// Total time spent answering queries, in nanoseconds (cache lookup plus
+    /// oracle estimate; excludes queueing).
+    pub busy_nanos: u64,
+    /// Largest single-query service time observed, in nanoseconds.
+    pub max_latency_nanos: u64,
+}
+
+impl ShardStats {
+    /// Merge another shard's counters into this one by summation (maximum
+    /// for `max_latency_nanos`), like `RunStats::absorb` on the build side.
+    pub fn absorb(&mut self, other: &ShardStats) {
+        self.queries += other.queries;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.errors += other.errors;
+        self.batches += other.batches;
+        self.busy_nanos += other.busy_nanos;
+        self.max_latency_nanos = self.max_latency_nanos.max(other.max_latency_nanos);
+    }
+
+    /// Fraction of queries answered from cache (0 when no queries ran).
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean service time per query in nanoseconds (0 when no queries ran).
+    pub fn avg_latency_nanos(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.busy_nanos as f64 / self.queries as f64
+        }
+    }
+}
+
+/// A point-in-time snapshot of a running (or shut down) server's counters:
+/// the per-shard breakdown plus the aggregate, mirroring how
+/// [`dsketch::BuildOutcome`] pairs `stats` with `phase_stats`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Sum over all shards.
+    pub totals: ShardStats,
+    /// One entry per shard, in shard order.
+    pub per_shard: Vec<ShardStats>,
+}
+
+impl ServeStats {
+    /// Number of shards the server ran with.
+    pub fn num_shards(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// Largest per-shard query count divided by the mean — 1.0 is a
+    /// perfectly balanced load, higher means hotter shards.
+    pub fn load_imbalance(&self) -> f64 {
+        let n = self.per_shard.len();
+        if n == 0 || self.totals.queries == 0 {
+            return 1.0;
+        }
+        let max = self.per_shard.iter().map(|s| s.queries).max().unwrap_or(0);
+        let mean = self.totals.queries as f64 / n as f64;
+        max as f64 / mean
+    }
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} queries over {} shards: {:.1}% cache hits, {} errors, \
+             avg {:.2} µs/query, max {:.2} µs, imbalance {:.2}",
+            self.totals.queries,
+            self.num_shards(),
+            100.0 * self.totals.hit_rate(),
+            self.totals.errors,
+            self.totals.avg_latency_nanos() / 1_000.0,
+            self.totals.max_latency_nanos as f64 / 1_000.0,
+            self.load_imbalance(),
+        )
+    }
+}
+
+/// The live, shared counters one worker thread writes and [`ServeStats`]
+/// snapshots read.  Relaxed ordering is enough: counters are monotone and
+/// read only for reporting.
+#[derive(Debug, Default)]
+pub(crate) struct ShardCounters {
+    pub queries: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub errors: AtomicU64,
+    pub batches: AtomicU64,
+    pub busy_nanos: AtomicU64,
+    pub max_latency_nanos: AtomicU64,
+}
+
+impl ShardCounters {
+    pub(crate) fn snapshot(&self) -> ShardStats {
+        ShardStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
+            max_latency_nanos: self.max_latency_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn record_latency(&self, nanos: u64) {
+        self.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_latency_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_and_maxes() {
+        let mut a = ShardStats {
+            queries: 10,
+            cache_hits: 4,
+            cache_misses: 6,
+            errors: 1,
+            batches: 2,
+            busy_nanos: 1000,
+            max_latency_nanos: 400,
+        };
+        let b = ShardStats {
+            queries: 5,
+            cache_hits: 5,
+            cache_misses: 0,
+            errors: 0,
+            batches: 1,
+            busy_nanos: 200,
+            max_latency_nanos: 900,
+        };
+        a.absorb(&b);
+        assert_eq!(a.queries, 15);
+        assert_eq!(a.cache_hits, 9);
+        assert_eq!(a.cache_misses, 6);
+        assert_eq!(a.batches, 3);
+        assert_eq!(a.max_latency_nanos, 900);
+        assert!((a.hit_rate() - 0.6).abs() < 1e-9);
+        assert!((a.avg_latency_nanos() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let stats = ShardStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+        assert_eq!(stats.avg_latency_nanos(), 0.0);
+        let serve = ServeStats::default();
+        assert_eq!(serve.num_shards(), 0);
+        assert_eq!(serve.load_imbalance(), 1.0);
+        assert!(serve.to_string().contains("0 queries"));
+    }
+
+    #[test]
+    fn counters_snapshot_round_trips() {
+        let counters = ShardCounters::default();
+        counters.queries.fetch_add(3, Ordering::Relaxed);
+        counters.record_latency(50);
+        counters.record_latency(10);
+        let snap = counters.snapshot();
+        assert_eq!(snap.queries, 3);
+        assert_eq!(snap.busy_nanos, 60);
+        assert_eq!(snap.max_latency_nanos, 50);
+    }
+
+    #[test]
+    fn display_reports_the_headline_numbers() {
+        let stats = ServeStats {
+            totals: ShardStats {
+                queries: 100,
+                cache_hits: 25,
+                cache_misses: 75,
+                errors: 2,
+                batches: 10,
+                busy_nanos: 100_000,
+                max_latency_nanos: 5_000,
+            },
+            per_shard: vec![ShardStats::default(); 4],
+        };
+        let text = stats.to_string();
+        assert!(text.contains("100 queries over 4 shards"));
+        assert!(text.contains("25.0% cache hits"));
+        assert!(text.contains("2 errors"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Integration tests for the `dsketch-serve` layer: the sharded server must
+//! be a transparent proxy for the oracle it serves — same answers, same
+//! errors — under concurrency, batching, and caching, for every scheme
+//! family.
+
+use dsketch::prelude::*;
+use dsketch_serve::{ServeConfig, SketchServer};
+use netgraph::generators::{erdos_renyi, GeneratorConfig};
+use netgraph::NodeId;
+use std::sync::Arc;
+
+fn build_oracle(spec: SchemeSpec, n: usize) -> Arc<dyn DistanceOracle> {
+    let graph = erdos_renyi(n, 0.15, GeneratorConfig::uniform(7, 1, 20));
+    let outcome = SketchBuilder::new(spec)
+        .seed(11)
+        .build(&graph)
+        .expect("construction");
+    Arc::from(outcome.sketches)
+}
+
+/// A deterministic query stream, including out-of-range nodes so error
+/// propagation is exercised alongside successful estimates.
+fn query_stream(n: usize, count: usize, salt: u64) -> Vec<(NodeId, NodeId)> {
+    (0..count as u64)
+        .map(|i| {
+            let a = (i.wrapping_mul(6364136223846793005).wrapping_add(salt) >> 16) as usize;
+            let b = (i
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(salt ^ 0xabcd)
+                >> 16) as usize;
+            // Every 97th query asks about a node outside the sketch set.
+            let u = if i % 97 == 0 { n + a % 5 } else { a % n };
+            (NodeId::from_index(u), NodeId::from_index(b % n))
+        })
+        .collect()
+}
+
+/// The acceptance-criterion test: for all four scheme families, N client
+/// threads × M queries each through the sharded server return exactly what
+/// direct `estimate()` calls return — including errors.
+#[test]
+fn concurrent_queries_agree_with_direct_estimates_for_every_family() {
+    const THREADS: usize = 4;
+    const QUERIES_PER_THREAD: usize = 400;
+    for spec in SchemeSpec::all_families() {
+        let n = 48;
+        let oracle = build_oracle(spec, n);
+        let server = SketchServer::start(
+            Arc::clone(&oracle),
+            ServeConfig::default()
+                .with_shards(4)
+                .with_cache_capacity(64),
+        )
+        .expect("server start");
+        std::thread::scope(|scope| {
+            for thread_id in 0..THREADS {
+                let client = server.client();
+                let oracle = Arc::clone(&oracle);
+                scope.spawn(move || {
+                    for (u, v) in query_stream(n, QUERIES_PER_THREAD, thread_id as u64) {
+                        assert_eq!(
+                            client.query(u, v),
+                            oracle.estimate(u, v),
+                            "{spec}: server must answer ({u}, {v}) like the oracle"
+                        );
+                    }
+                });
+            }
+        });
+        let stats = server.shutdown();
+        assert_eq!(
+            stats.totals.queries,
+            (THREADS * QUERIES_PER_THREAD) as u64,
+            "{spec}: every query must be counted"
+        );
+        assert_eq!(
+            stats.totals.cache_hits + stats.totals.cache_misses,
+            stats.totals.queries,
+            "{spec}: every query is either a hit or a miss"
+        );
+        assert!(
+            stats.per_shard.iter().all(|s| s.queries > 0),
+            "{spec}: all shards should see traffic: {stats}"
+        );
+    }
+}
+
+/// Batched submission must return the same results as one-at-a-time
+/// submission, in input order, mixing shards, duplicates and errors.
+#[test]
+fn batched_and_single_queries_are_equivalent() {
+    let n = 40;
+    let oracle = build_oracle(SchemeSpec::thorup_zwick(3), n);
+    let server =
+        SketchServer::start(Arc::clone(&oracle), ServeConfig::default()).expect("server start");
+    let client = server.client();
+    let mut pairs = query_stream(n, 300, 5);
+    pairs.push(pairs[0]); // duplicate within one batch
+    let batched = client.query_batch(&pairs);
+    assert_eq!(batched.len(), pairs.len());
+    for (result, &(u, v)) in batched.iter().zip(&pairs) {
+        assert_eq!(
+            result,
+            &client.query(u, v),
+            "order-preserving at ({u}, {v})"
+        );
+        assert_eq!(result, &oracle.estimate(u, v));
+    }
+}
+
+/// The per-shard LRU accounting: repeats hit, distinct queries miss, errors
+/// are never cached, and the hit/miss split is exact.
+#[test]
+fn cache_hit_accounting_is_exact() {
+    let n = 40;
+    let oracle = build_oracle(SchemeSpec::thorup_zwick(2), n);
+    let server = SketchServer::start(
+        Arc::clone(&oracle),
+        ServeConfig::default().with_cache_capacity(1024),
+    )
+    .expect("server start");
+    let client = server.client();
+
+    // The same query 10 times: 1 miss then 9 hits.
+    for _ in 0..10 {
+        client.query(NodeId(3), NodeId(7)).unwrap();
+    }
+    let stats = server.stats();
+    assert_eq!(stats.totals.queries, 10);
+    assert_eq!(stats.totals.cache_misses, 1);
+    assert_eq!(stats.totals.cache_hits, 9);
+
+    // A failing query repeated: errors are not cached, so every repeat
+    // consults the oracle again.
+    for _ in 0..5 {
+        assert!(client.query(NodeId(999), NodeId(0)).is_err());
+    }
+    let stats = server.stats();
+    assert_eq!(stats.totals.errors, 5);
+    assert_eq!(stats.totals.cache_misses, 6, "failed queries never cache");
+    assert_eq!(stats.totals.cache_hits, 9);
+
+    // 30 distinct pairs never repeat: all misses.
+    let distinct: Vec<(NodeId, NodeId)> = (0..30u32)
+        .map(|i| (NodeId(i), NodeId((i + 1) % n as u32)))
+        .collect();
+    for result in client.query_batch(&distinct) {
+        result.unwrap();
+    }
+    drop(client);
+    let stats = server.shutdown();
+    assert_eq!(stats.totals.queries, 45);
+    assert_eq!(stats.totals.cache_misses, 36);
+    assert_eq!(stats.totals.cache_hits, 9);
+    assert!(stats.totals.busy_nanos > 0, "latency is being measured");
+}
+
+/// A cache-disabled server (capacity 0) still answers correctly and reports
+/// zero hits.
+#[test]
+fn zero_capacity_cache_disables_hits_not_answers() {
+    let n = 32;
+    let oracle = build_oracle(SchemeSpec::three_stretch(0.4), n);
+    let server = SketchServer::start(
+        Arc::clone(&oracle),
+        ServeConfig::default().with_cache_capacity(0),
+    )
+    .expect("server start");
+    let client = server.client();
+    for _ in 0..3 {
+        assert_eq!(
+            client.query(NodeId(0), NodeId(9)),
+            oracle.estimate(NodeId(0), NodeId(9))
+        );
+    }
+    drop(client);
+    let stats = server.shutdown();
+    assert_eq!(stats.totals.cache_hits, 0);
+    assert_eq!(stats.totals.cache_misses, 3);
+}
+
+/// `estimate_batch` on the trait (the default implementation every oracle
+/// inherits) agrees with the serving path.
+#[test]
+fn trait_level_batching_matches_server_batching() {
+    let n = 40;
+    let oracle = build_oracle(SchemeSpec::cdg(0.3, 2), n);
+    let server =
+        SketchServer::start(Arc::clone(&oracle), ServeConfig::default()).expect("server start");
+    let client = server.client();
+    let pairs = query_stream(n, 100, 9);
+    assert_eq!(client.query_batch(&pairs), oracle.estimate_batch(&pairs));
+}

@@ -120,7 +120,7 @@ pub mod prop {
             VecStrategy { element, sizes }
         }
 
-        /// The [`vec`] strategy.
+        /// The [`vec()`] strategy.
         pub struct VecStrategy<S> {
             element: S,
             sizes: std::ops::Range<usize>,

@@ -20,24 +20,10 @@
 
 use dsketch::prelude::*;
 use dsketch_bench::workloads::{QueryWorkload, Workload, WorkloadSpec};
-use dsketch_bench::Table;
+use dsketch_bench::{arg_parse, arg_value, Table};
 use dsketch_serve::{ServeConfig, SketchServer};
 use std::sync::Arc;
 use std::time::Instant;
-
-fn arg_value(args: &[String], name: &str) -> Option<String> {
-    let flag = format!("--{name}");
-    args.iter()
-        .position(|a| a == &flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-}
-
-fn arg_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
-    arg_value(args, name)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

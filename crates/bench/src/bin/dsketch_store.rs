@@ -1,0 +1,255 @@
+//! `dsketch-store` — the sketch artifact lifecycle as a CLI:
+//! **build → save → inspect → load → serve**.
+//!
+//! ```text
+//! # pay the CONGEST construction once, keep the artifact
+//! cargo run --release -p dsketch-bench --bin dsketch-store -- \
+//!     build --scheme tz:3 --nodes 512 --out g.dsk
+//!
+//! # build from a persisted edge list instead of a generated topology
+//! cargo run --release -p dsketch-bench --bin dsketch-store -- \
+//!     build --scheme cdg:0.2,2 --edges graph.txt --out g.dsk
+//!
+//! # what is in the file? (also verifies every checksum)
+//! cargo run --release -p dsketch-bench --bin dsketch-store -- inspect --snapshot g.dsk
+//!
+//! # answer one query from the snapshot alone
+//! cargo run --release -p dsketch-bench --bin dsketch-store -- \
+//!     query --snapshot g.dsk --u 0 --v 41
+//!
+//! # cold-start a sharded server from the snapshot and replay traffic
+//! cargo run --release -p dsketch-bench --bin dsketch-store -- \
+//!     serve --snapshot g.dsk --queries 100000 --shards 4
+//! ```
+//!
+//! `build` flags: `--scheme`, `--out`, and either `--edges <path>` (load a
+//! `netgraph::io` edge list) or `--topology erdos-renyi|grid|ring|power-law`
+//! with `--nodes N`; plus `--seed N`.  `serve` flags: `--snapshot`,
+//! `--queries`, `--shards`, `--batch`, `--cache`, `--workload`, `--seed`.
+
+use dsketch::prelude::*;
+use dsketch_bench::workloads::{QueryWorkload, Workload, WorkloadSpec};
+use dsketch_bench::{arg_parse, arg_value, Table};
+use dsketch_serve::{ServeConfig, SketchServer};
+use dsketch_store::{build_and_save, build_and_save_from_edge_list, inspect_snapshot, load_oracle};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn required(args: &[String], name: &str) -> String {
+    arg_value(args, name).unwrap_or_else(|| {
+        eprintln!("missing required flag --{name}");
+        std::process::exit(2);
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dsketch-store <build|inspect|query|serve> [flags]\n\
+         \n\
+         build   --scheme SPEC --out FILE [--edges FILE | --topology T --nodes N] [--seed N]\n\
+         inspect --snapshot FILE\n\
+         query   --snapshot FILE --u NODE --v NODE\n\
+         serve   --snapshot FILE [--queries N] [--shards N] [--batch N] [--cache N]\n\
+         \u{20}        [--workload uniform|hotspot|adversarial] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("build") => cmd_build(&args),
+        Some("inspect") => cmd_inspect(&args),
+        Some("query") => cmd_query(&args),
+        Some("serve") => cmd_serve(&args),
+        _ => usage(),
+    }
+}
+
+fn cmd_build(args: &[String]) {
+    let scheme_text = required(args, "scheme");
+    let out = required(args, "out");
+    let seed: u64 = arg_parse(args, "seed", 42);
+    let spec = SchemeSpec::parse(&scheme_text).unwrap_or_else(|e| {
+        eprintln!("--scheme {scheme_text}: {e}");
+        std::process::exit(2);
+    });
+    let config = SchemeConfig::default().with_seed(seed);
+
+    let build_started = Instant::now();
+    let (graph_label, graph, contents, bytes) = if let Some(edges) = arg_value(args, "edges") {
+        println!("loading edge list {edges} …");
+        let (graph, contents, bytes) = build_and_save_from_edge_list(&edges, spec, &config, &out)
+            .unwrap_or_else(|e| {
+                eprintln!("build failed: {e}");
+                std::process::exit(1);
+            });
+        (edges, graph, contents, bytes)
+    } else {
+        let n: usize = arg_parse(args, "nodes", 512);
+        let topology_text =
+            arg_value(args, "topology").unwrap_or_else(|| "erdos-renyi".to_string());
+        let topology = Workload::all()
+            .into_iter()
+            .find(|w| w.name() == topology_text)
+            .unwrap_or_else(|| {
+                eprintln!(
+                    "--topology {topology_text}: unknown (known: {:?})",
+                    Workload::all().map(|w| w.name())
+                );
+                std::process::exit(2);
+            });
+        let graph_spec = WorkloadSpec::new(topology, n, seed);
+        let graph = graph_spec.build();
+        let (contents, bytes) = build_and_save(&graph, spec, &config, &out).unwrap_or_else(|e| {
+            eprintln!("build failed: {e}");
+            std::process::exit(1);
+        });
+        (graph_spec.label(), graph, contents, bytes)
+    };
+    let elapsed = build_started.elapsed();
+
+    println!(
+        "graph: {graph_label} — n = {}, |E| = {}, fingerprint {}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.fingerprint()
+    );
+    let stats = contents.build_stats.as_ref().expect("build records stats");
+    println!(
+        "built {spec} in {:.2}s: {} rounds, {} messages, {} words on the wire",
+        elapsed.as_secs_f64(),
+        stats.rounds,
+        stats.messages,
+        stats.words
+    );
+    println!(
+        "saved {out}: {bytes} bytes for {} nodes (≤ {} words/node, avg {:.1})",
+        contents.sketches.num_nodes(),
+        contents.sketches.as_oracle().max_words(),
+        contents.sketches.as_oracle().avg_words(),
+    );
+}
+
+fn cmd_inspect(args: &[String]) {
+    let path = required(args, "snapshot");
+    let summary = inspect_snapshot(&path).unwrap_or_else(|e| {
+        eprintln!("inspect failed: {e}");
+        std::process::exit(1);
+    });
+    println!("== {path} ==");
+    println!("format:      DSK1 v{}", summary.version);
+    println!("scheme:      {}", summary.spec);
+    println!("graph:       {}", summary.fingerprint);
+    println!(
+        "labels:      {} nodes, max {} words, avg {:.1} words",
+        summary.num_nodes, summary.max_words, summary.avg_words
+    );
+    match &summary.build_stats {
+        Some(stats) => println!(
+            "built in:    {} rounds, {} messages, {} words on the wire",
+            stats.rounds, stats.messages, stats.words
+        ),
+        None => println!("built in:    (not recorded)"),
+    }
+    println!("total bytes: {}", summary.total_bytes);
+    let mut table = Table::new(&["section", "offset", "bytes", "crc32"]);
+    for entry in &summary.sections {
+        table.push(vec![
+            entry.id.to_string(),
+            entry.offset.to_string(),
+            entry.len.to_string(),
+            format!("{:08x}", entry.crc),
+        ]);
+    }
+    println!("{}", table.to_text());
+    println!("all checksums verified ✓");
+}
+
+fn cmd_query(args: &[String]) {
+    let path = required(args, "snapshot");
+    let u: u32 = arg_parse(args, "u", 0);
+    let v: u32 = arg_parse(args, "v", 1);
+    let oracle = load_oracle(&path).unwrap_or_else(|e| {
+        eprintln!("load failed: {e}");
+        std::process::exit(1);
+    });
+    match oracle.estimate(netgraph::NodeId(u), netgraph::NodeId(v)) {
+        Ok(estimate) => println!(
+            "{} estimate d(v{u}, v{v}) = {estimate}",
+            oracle.scheme_name()
+        ),
+        Err(e) => {
+            eprintln!("query failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) {
+    let path = required(args, "snapshot");
+    let queries: usize = arg_parse(args, "queries", 100_000);
+    let shards: usize = arg_parse(args, "shards", 4);
+    let batch: usize = arg_parse(args, "batch", 256);
+    let cache: usize = arg_parse(args, "cache", 4096);
+    let seed: u64 = arg_parse(args, "seed", 42);
+    let workload_text = arg_value(args, "workload").unwrap_or_else(|| "uniform".to_string());
+    let shape = QueryWorkload::parse(&workload_text).unwrap_or_else(|| {
+        eprintln!(
+            "--workload {workload_text}: unknown (known: {:?})",
+            QueryWorkload::all().map(|w| w.name())
+        );
+        std::process::exit(2);
+    });
+
+    let load_started = Instant::now();
+    let config = ServeConfig::default()
+        .with_shards(shards)
+        .with_cache_capacity(cache);
+    // One load: note the node count for workload generation before the
+    // sketches become the server's oracle (SketchServer::from_snapshot is
+    // this same sequence minus the peek).
+    let contents = dsketch_store::load_snapshot(&path).unwrap_or_else(|e| {
+        eprintln!("cold start failed: {e}");
+        std::process::exit(1);
+    });
+    let num_nodes = contents.sketches.num_nodes();
+    let server =
+        SketchServer::start(Arc::from(contents.into_oracle()), config).unwrap_or_else(|e| {
+            eprintln!("cold start failed: {e}");
+            std::process::exit(1);
+        });
+    println!(
+        "cold-started {shards}-shard server from {path} in {:.1} ms (no construction rounds)",
+        load_started.elapsed().as_secs_f64() * 1e3
+    );
+
+    let pairs = shape.generate(num_nodes, queries, seed);
+    let client = server.client();
+    let replay_started = Instant::now();
+    let mut nonzero = 0usize;
+    for chunk in pairs.chunks(batch.max(1)) {
+        for result in client.query_batch(chunk) {
+            if matches!(result, Ok(d) if d > 0) {
+                nonzero += 1;
+            }
+        }
+    }
+    let elapsed = replay_started.elapsed();
+    drop(client);
+    let stats = server.shutdown();
+    println!(
+        "[{}] replayed {} queries in {:.1} ms — {:.0} queries/s, {:.1}% cache hits, {} errors",
+        shape.name(),
+        stats.totals.queries,
+        elapsed.as_secs_f64() * 1e3,
+        stats.totals.queries as f64 / elapsed.as_secs_f64(),
+        100.0 * stats.totals.hit_rate(),
+        stats.totals.errors,
+    );
+    println!("{nonzero} / {queries} answers were nonzero distances");
+    if nonzero == 0 {
+        eprintln!("snapshot served no usable answers — refusing to call this a success");
+        std::process::exit(1);
+    }
+}

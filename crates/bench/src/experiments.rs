@@ -16,9 +16,10 @@ use netgraph::{Graph, NodeId};
 
 /// The experiment identifiers, in DESIGN.md order (`e11` exercises the
 /// scheme-polymorphic API over every family, `e12` the sharded serving
-/// layer built on top of it).
-pub const EXPERIMENT_IDS: [&str; 12] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+/// layer built on top of it, `e13` the snapshot persistence layer under
+/// it).
+pub const EXPERIMENT_IDS: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 ];
 
 /// The output of one experiment.
@@ -62,6 +63,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentResult> {
         "e10" => Some(e10_rounds_scaling(quick)),
         "e11" => Some(e11_scheme_matrix(quick)),
         "e12" => Some(e12_query_throughput(quick)),
+        "e13" => Some(e13_snapshot_cold_start(quick)),
         _ => None,
     }
 }
@@ -709,6 +711,100 @@ fn e12_query_throughput(quick: bool) -> ExperimentResult {
     }
 }
 
+/// E13 — persistence: snapshot save/load throughput and the
+/// cold-start-from-snapshot vs rebuild speedup.
+///
+/// For every scheme family (and, for `tz:3`, growing graph sizes up to
+/// n = 4096 in full mode), build once in the CONGEST simulator, save the
+/// `DSK1` snapshot, reload it, and compare: the "speedup" column is
+/// rebuild time over load time — the factor a restarted query server
+/// gains by cold-starting from disk instead of re-running the
+/// construction.  The "identical" column verifies the loaded oracle
+/// returns bit-identical estimates to the freshly built one on sampled
+/// pairs.
+fn e13_snapshot_cold_start(quick: bool) -> ExperimentResult {
+    use dsketch_store::{build_stored, load_oracle_for_graph, save_snapshot};
+    use std::time::Instant;
+
+    let dir = std::env::temp_dir().join("dsketch_e13");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // (spec, graph sizes): every family at a base size, plus the size
+    // sweep for tz:3 — the scheme the acceptance bar (≥ 10× at n = 4096)
+    // is stated for.
+    let base = if quick { 96 } else { 256 };
+    let mut cases: Vec<(SchemeSpec, usize)> = SchemeSpec::all_families()
+        .into_iter()
+        .map(|spec| (spec, base))
+        .collect();
+    if !quick {
+        cases.push((SchemeSpec::thorup_zwick(3), 1024));
+        cases.push((SchemeSpec::thorup_zwick(3), 4096));
+    }
+
+    let mut table = Table::new(&[
+        "scheme",
+        "n",
+        "build ms",
+        "save ms",
+        "snapshot KB",
+        "load ms",
+        "speedup",
+        "identical",
+    ]);
+    for (index, (spec, n)) in cases.into_iter().enumerate() {
+        let graph = WorkloadSpec::new(Workload::ErdosRenyi, n, 42).build();
+        let config = SchemeConfig::default().with_seed(13);
+        let path = dir.join(format!("e13_{index}.dsk"));
+
+        let build_started = Instant::now();
+        let contents = build_stored(&graph, spec, &config).expect("construction");
+        let build_time = build_started.elapsed();
+
+        let save_started = Instant::now();
+        let bytes = save_snapshot(&path, &contents).expect("save");
+        let save_time = save_started.elapsed();
+
+        let load_started = Instant::now();
+        let loaded = load_oracle_for_graph(&path, &graph).expect("load");
+        let load_time = load_started.elapsed();
+
+        // Bit-identical estimates between the freshly built and the
+        // reloaded oracle, on a deterministic pair sample.
+        let built = contents.sketches.as_oracle();
+        let identical = (0..200u32).all(|i| {
+            let u = NodeId((i * 131) % n as u32);
+            let v = NodeId((i * 157 + 71) % n as u32);
+            match (built.estimate(u, v), loaded.estimate(u, v)) {
+                (Ok(a), Ok(b)) => a == b,
+                (Err(_), Err(_)) => true,
+                _ => false,
+            }
+        });
+        std::fs::remove_file(&path).ok();
+
+        let speedup = build_time.as_secs_f64() / load_time.as_secs_f64().max(1e-9);
+        table.push(vec![
+            spec.to_string(),
+            n.to_string(),
+            format!("{:.1}", build_time.as_secs_f64() * 1e3),
+            format!("{:.2}", save_time.as_secs_f64() * 1e3),
+            format!("{:.1}", bytes as f64 / 1024.0),
+            format!("{:.2}", load_time.as_secs_f64() * 1e3),
+            format!("{speedup:.0}x"),
+            if identical { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    ExperimentResult {
+        id: "e13",
+        title: "Snapshot persistence: cold start from disk vs rebuild",
+        claim: "the construction cost (Õ(n^{1/2+1/k}+D) rounds) is paid once; a snapshot-loaded \
+                oracle answers bit-identically to the freshly built one, and cold-starting from \
+                disk is orders of magnitude faster than rebuilding",
+        table,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -766,6 +862,26 @@ mod tests {
             if row[1].starts_with("tz") {
                 assert_eq!(row[7], "0", "TZ queries never fail: {row:?}");
             }
+        }
+    }
+
+    #[test]
+    fn e13_quick_round_trips_identically_and_loads_faster_than_rebuild() {
+        let result = run_experiment("e13", true).unwrap();
+        assert_eq!(result.id, "e13");
+        // One row per scheme family in quick mode.
+        assert_eq!(result.table.len(), 4);
+        for row in &result.table.rows {
+            assert_eq!(
+                row[7], "yes",
+                "loaded oracle must answer bit-identically: {row:?}"
+            );
+            let build_ms: f64 = row[2].parse().unwrap();
+            let load_ms: f64 = row[5].parse().unwrap();
+            assert!(
+                load_ms < build_ms,
+                "cold start must beat rebuild even at toy sizes: {row:?}"
+            );
         }
     }
 

@@ -24,3 +24,39 @@ pub mod workloads;
 pub use experiments::{run_experiment, ExperimentResult, EXPERIMENT_IDS};
 pub use table::Table;
 pub use workloads::{QueryWorkload, Workload, WorkloadSpec};
+
+/// Look up a `--name value` style flag in raw `std::env::args` output
+/// (shared by the `dsketch-serve` / `dsketch-store` binaries).
+pub fn arg_value(args: &[String], name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    args.iter()
+        .position(|a| a == &flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parse a `--name value` flag, falling back to `default` when the flag is
+/// absent or unparsable.
+pub fn arg_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    arg_value(args, name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_helpers_parse_flags_and_fall_back() {
+        let args: Vec<String> = ["prog", "--nodes", "128", "--bad", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_value(&args, "nodes"), Some("128".to_string()));
+        assert_eq!(arg_value(&args, "missing"), None);
+        assert_eq!(arg_parse(&args, "nodes", 7usize), 128);
+        assert_eq!(arg_parse(&args, "bad", 7usize), 7);
+        assert_eq!(arg_parse(&args, "missing", 7usize), 7);
+    }
+}

@@ -173,6 +173,32 @@ impl Hierarchy {
         })
     }
 
+    /// Rebuild a hierarchy from its full recorded state — levels, `k`, and
+    /// the sampling probability — as produced by [`Hierarchy::levels`] /
+    /// [`Hierarchy::k`] / [`Hierarchy::probability`].  Unlike
+    /// [`Hierarchy::from_levels`] this preserves the probability, so a
+    /// persisted hierarchy round-trips exactly (the persistence layer uses
+    /// this to make reloaded sketch sets bit-identical to freshly built
+    /// ones).
+    pub fn from_parts(level: Vec<i32>, k: usize, probability: f64) -> Result<Self, SketchError> {
+        let mut h = Self::from_levels(level, k)?;
+        if !probability.is_nan() && !(0.0..=1.0).contains(&probability) {
+            return Err(SketchError::InvalidParameters(format!(
+                "sampling probability must be in [0, 1] or NaN, got {probability}"
+            )));
+        }
+        h.probability = probability;
+        Ok(h)
+    }
+
+    /// The raw per-node levels: `levels()[v]` is the largest `i` with
+    /// `v ∈ A_i`, or `-1` when `v` is outside the ground set.  Together with
+    /// [`Hierarchy::k`] and [`Hierarchy::probability`] this is the
+    /// hierarchy's complete state (see [`Hierarchy::from_parts`]).
+    pub fn levels(&self) -> &[i32] {
+        &self.level
+    }
+
     /// Number of levels `k`.
     pub fn k(&self) -> usize {
         self.k
@@ -347,6 +373,22 @@ mod tests {
         assert!(Hierarchy::sample_on_ground_set(10, &[], 2, 1.5, 1).is_err());
         assert!(Hierarchy::from_levels(vec![0, 5], 2).is_err());
         assert!(Hierarchy::from_levels(vec![0, -2], 2).is_err());
+    }
+
+    #[test]
+    fn from_parts_preserves_probability() {
+        let sampled = Hierarchy::sample(40, &TzParams::new(3).with_seed(4)).unwrap();
+        let rebuilt = Hierarchy::from_parts(
+            sampled.levels().to_vec(),
+            sampled.k(),
+            sampled.probability(),
+        )
+        .unwrap();
+        assert_eq!(sampled, rebuilt);
+        // NaN (hand-built hierarchies) is accepted; out-of-range is not.
+        assert!(Hierarchy::from_parts(vec![0, 1], 2, f64::NAN).is_ok());
+        assert!(Hierarchy::from_parts(vec![0, 1], 2, 1.5).is_err());
+        assert!(Hierarchy::from_parts(vec![0, 9], 2, 0.5).is_err());
     }
 
     #[test]

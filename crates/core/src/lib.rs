@@ -103,6 +103,9 @@
 //! * [`eval`] — stretch evaluation over any `DistanceOracle` (worst-case /
 //!   average / percentiles, slack-aware variants).
 //! * [`baseline`] — exact-oracle and landmark baselines for comparison.
+//! * [`codec`] — the stable binary encoding of every label type
+//!   ([`SketchCodec`]), the payload layer under the `dsketch-store`
+//!   snapshot format (build once, save, serve from disk forever).
 //!
 //! # Migrating from the deprecated `run()` entry points
 //!
@@ -141,6 +144,7 @@
 
 pub mod baseline;
 pub mod centralized;
+pub mod codec;
 pub mod distributed;
 pub mod error;
 pub mod eval;
@@ -154,6 +158,7 @@ pub mod slack;
 /// Convenient re-exports of the most common types.
 pub mod prelude {
     pub use crate::centralized::CentralizedTz;
+    pub use crate::codec::{CodecError, Decoder, Encoder, SketchCodec};
     pub use crate::distributed::{DistributedTz, DistributedTzConfig, SyncMode, TzBuildResult};
     pub use crate::error::SketchError;
     pub use crate::eval::{

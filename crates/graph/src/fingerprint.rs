@@ -1,0 +1,134 @@
+//! Structural graph fingerprints for snapshot validation.
+//!
+//! A sketch snapshot is only meaningful for the exact graph it was built
+//! on: labels answer `estimate(u, v)` by node id, so loading them against a
+//! different topology silently produces garbage distances.  The persistence
+//! layer therefore stamps every snapshot with a [`GraphFingerprint`] — node
+//! count, edge count, and an order-sensitive checksum over every undirected
+//! edge `(u, v, w)` — and refuses to serve a snapshot against a graph whose
+//! fingerprint differs.
+//!
+//! The checksum is FNV-1a over the canonical edge enumeration
+//! ([`Graph::undirected_edges`], which yields each edge once as `u < v` in
+//! sorted order), so two graphs compare equal exactly when they have the
+//! same node count and the same weighted edge set.  It is a corruption /
+//! mix-up detector, not a cryptographic commitment.
+
+use crate::csr::Graph;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A compact structural identity of a graph: `(n, m, edge checksum)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GraphFingerprint {
+    /// Number of nodes `n`.
+    pub nodes: u64,
+    /// Number of undirected edges `m`.
+    pub edges: u64,
+    /// FNV-1a checksum over the canonical `(u, v, w)` edge enumeration.
+    pub weight_checksum: u64,
+}
+
+impl GraphFingerprint {
+    /// Fingerprint a graph.  Equivalent to [`Graph::fingerprint`].
+    pub fn of(graph: &Graph) -> Self {
+        let mut hash = FNV_OFFSET;
+        let mut absorb = |value: u64| {
+            for byte in value.to_le_bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        };
+        absorb(graph.num_nodes() as u64);
+        for (u, v, w) in graph.undirected_edges() {
+            absorb(u.0 as u64);
+            absorb(v.0 as u64);
+            absorb(w);
+        }
+        GraphFingerprint {
+            nodes: graph.num_nodes() as u64,
+            edges: graph.num_edges() as u64,
+            weight_checksum: hash,
+        }
+    }
+}
+
+impl std::fmt::Display for GraphFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} m={} checksum={:016x}",
+            self.nodes, self.edges, self.weight_checksum
+        )
+    }
+}
+
+impl Graph {
+    /// The structural fingerprint of this graph: node count, edge count, and
+    /// a checksum over every `(u, v, w)` edge.
+    ///
+    /// Two graphs have equal fingerprints exactly when they have the same
+    /// node count and identical weighted edge sets (up to the FNV collision
+    /// probability); the sketch persistence layer uses this to refuse
+    /// serving a snapshot against the wrong graph.
+    pub fn fingerprint(&self) -> GraphFingerprint {
+        GraphFingerprint::of(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::csr::NodeId;
+    use crate::generators::{erdos_renyi, GeneratorConfig};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn identical_graphs_have_identical_fingerprints() {
+        let a = erdos_renyi(64, 0.1, GeneratorConfig::uniform(7, 1, 20));
+        let b = erdos_renyi(64, 0.1, GeneratorConfig::uniform(7, 1, 20));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn different_seed_changes_the_fingerprint() {
+        let a = erdos_renyi(64, 0.1, GeneratorConfig::uniform(7, 1, 20));
+        let b = erdos_renyi(64, 0.1, GeneratorConfig::uniform(8, 1, 20));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn weight_change_alone_is_detected() {
+        let mut a = GraphBuilder::new(3);
+        a.add_edge(NodeId(0), NodeId(1), 1);
+        a.add_edge(NodeId(1), NodeId(2), 2);
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1);
+        b.add_edge(NodeId(1), NodeId(2), 3);
+        let (fa, fb) = (a.build().fingerprint(), b.build().fingerprint());
+        assert_eq!(fa.nodes, fb.nodes);
+        assert_eq!(fa.edges, fb.edges);
+        assert_ne!(fa.weight_checksum, fb.weight_checksum);
+    }
+
+    #[test]
+    fn isolated_vertices_change_the_fingerprint() {
+        // Same edge set, different node count: a padded graph must not
+        // fingerprint equal to the unpadded one.
+        let mut a = GraphBuilder::new(2);
+        a.add_edge(NodeId(0), NodeId(1), 4);
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(NodeId(0), NodeId(1), 4);
+        assert_ne!(a.build().fingerprint(), b.build().fingerprint());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let g = erdos_renyi(16, 0.2, GeneratorConfig::unit(1));
+        let text = g.fingerprint().to_string();
+        assert!(text.contains("n=16"), "{text}");
+        assert!(text.contains("checksum="), "{text}");
+    }
+}

@@ -71,7 +71,10 @@ pub fn save_edge_list<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<(), IoEr
 pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, IoError> {
     let buf = BufReader::new(reader);
     let mut num_nodes: Option<usize> = None;
-    let mut edges: Vec<(usize, usize, u64)> = Vec::new();
+    // Each edge keeps the 1-based file line it came from, so range errors
+    // (which can only be checked once the node count is known) point at the
+    // offending line instead of the edge's position in the list.
+    let mut edges: Vec<(usize, usize, usize, u64)> = Vec::new();
 
     for (idx, line) in buf.lines().enumerate() {
         let line_no = idx + 1;
@@ -109,7 +112,7 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, IoError> {
                 message: "trailing fields after weight".to_string(),
             });
         }
-        edges.push((u, v, w));
+        edges.push((line_no, u, v, w));
     }
 
     let n = num_nodes.ok_or(IoError::Parse {
@@ -117,10 +120,10 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, IoError> {
         message: "missing 'nodes <n>' header".to_string(),
     })?;
     let mut builder = GraphBuilder::with_capacity(n, edges.len());
-    for (line_no, &(u, v, w)) in edges.iter().enumerate() {
+    for &(line_no, u, v, w) in &edges {
         if u >= n || v >= n {
             return Err(IoError::Parse {
-                line: line_no + 1,
+                line: line_no,
                 message: format!("edge ({u}, {v}) out of range for {n} nodes"),
             });
         }
@@ -189,6 +192,64 @@ mod tests {
         let text = "nodes 2\n0 5 1\n";
         let err = read_edge_list(text.as_bytes()).unwrap_err();
         assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn out_of_range_error_reports_the_file_line() {
+        // The range check runs after parsing (it needs the node count), but
+        // the error must still point at the offending *file* line — here
+        // line 4, not "the second edge".
+        let text = "# header\nnodes 2\n0 1 1\n0 9 1\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { line, message } => {
+                assert_eq!(line, 4, "{message}");
+                assert!(message.contains("out of range"));
+            }
+            other => panic!("expected a parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_survive_the_round_trip() {
+        // Nodes 2 and 4 have no incident edges; the `nodes <n>` header must
+        // preserve them so that sketches built from a re-loaded graph cover
+        // the same node-id space (the persistence layer fingerprints n).
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(NodeId(0), NodeId(1), 3);
+        b.add_edge(NodeId(1), NodeId(3), 2);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g2.num_nodes(), 5);
+        assert_eq!(g2.degree(NodeId(2)), 0);
+        assert_eq!(g2.degree(NodeId(4)), 0);
+        assert_eq!(g.fingerprint(), g2.fingerprint());
+    }
+
+    #[test]
+    fn duplicate_edges_canonicalize_to_the_minimum_weight() {
+        // An edge list may repeat an edge (both orientations, different
+        // weights); loading must collapse duplicates exactly like
+        // GraphBuilder does, so that load(save(g)) == g structurally and
+        // re-loading an externally produced list with duplicates yields the
+        // same fingerprint as building it directly.
+        let text = "nodes 3\n0 1 9\n1 0 4\n0 1 7\n1 2 5\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(4));
+
+        let mut direct = GraphBuilder::new(3);
+        direct.add_edge(NodeId(0), NodeId(1), 4);
+        direct.add_edge(NodeId(1), NodeId(2), 5);
+        assert_eq!(g.fingerprint(), direct.build().fingerprint());
+
+        // And the canonical form round-trips losslessly.
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g.fingerprint(), g2.fingerprint());
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   (the quantity the paper's round bounds are stated in).
 //! * [`completion`] — the metric completion of a node subset, used to verify
 //!   the Lemma 4.5 claim about net-restricted sketches.
+//! * [`fingerprint`] — structural graph fingerprints (`n`, `m`, edge
+//!   checksum) used by the sketch persistence layer to refuse serving a
+//!   snapshot against the wrong graph.
 //! * [`apsp`] — all-pairs (or sampled-pairs) ground-truth distance tables.
 //! * [`io`] — a plain-text edge-list format for persisting generated networks.
 //! * [`metrics`] — degree/weight/connectivity summaries used in experiment
@@ -40,6 +43,7 @@ pub mod builder;
 pub mod completion;
 pub mod csr;
 pub mod diameter;
+pub mod fingerprint;
 pub mod generators;
 pub mod io;
 pub mod metrics;
@@ -48,6 +52,7 @@ pub mod union_find;
 
 pub use builder::GraphBuilder;
 pub use csr::{EdgeRef, Graph, NodeId};
+pub use fingerprint::GraphFingerprint;
 
 /// Edge weight / distance type used throughout the workspace.
 ///

@@ -29,6 +29,10 @@
 //!   aggregate [`ServeStats`] (queries, cache hits/misses, errors, service
 //!   latency) at any time, mirroring how the construction side reports
 //!   `RunStats` per build.
+//! * **Cold start from disk** — [`SketchServer::from_snapshot`] boots a
+//!   server straight from a `dsketch-store` snapshot (`DSK1` file), so a
+//!   restarted or standby server skips the CONGEST construction entirely
+//!   and is serving as soon as the labels are read and checksummed.
 //!
 //! # Example
 //!

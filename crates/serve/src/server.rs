@@ -199,6 +199,27 @@ impl SketchServer {
         })
     }
 
+    /// Cold-start a server from a `DSK1` sketch snapshot on disk, without
+    /// running the builder at all: load the snapshot (CRC-verified), turn
+    /// it into the scheme-appropriate oracle, and spawn the shards over it.
+    ///
+    /// This is the warm-standby / instant-restart path: the expensive
+    /// CONGEST construction was paid by whoever wrote the snapshot
+    /// (`dsketch-store build` or [`dsketch_store::build_and_save`]), and a
+    /// restarted server is back to serving in the time it takes to read
+    /// and checksum the file.
+    ///
+    /// Corrupted, truncated, or version-incompatible snapshots fail with
+    /// the typed [`StoreError`](dsketch_store::StoreError); an invalid
+    /// `config` fails with [`StoreError::Sketch`](dsketch_store::StoreError::Sketch).
+    pub fn from_snapshot<P: AsRef<std::path::Path>>(
+        path: P,
+        config: ServeConfig,
+    ) -> Result<SketchServer, dsketch_store::StoreError> {
+        let oracle: Arc<dyn DistanceOracle> = Arc::from(dsketch_store::load_oracle(path)?);
+        Ok(SketchServer::start(oracle, config)?)
+    }
+
     /// The sizing the server was started with.
     pub fn config(&self) -> &ServeConfig {
         &self.config

@@ -1,0 +1,63 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the per-section
+//! corruption check of the `DSK1` format.
+//!
+//! Hand-rolled so the store stays dependency-free; the table is built at
+//! compile time.  This is the same CRC as zlib/PNG, so snapshots can be
+//! cross-checked with standard tools (`python3 -c 'import zlib, sys;
+//! print(hex(zlib.crc32(open(sys.argv[1], "rb").read())))' section.bin`).
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// The CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in bytes {
+        crc = TABLE[((crc ^ byte as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_reference_check_value() {
+        // The canonical CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn single_bit_flips_change_the_crc() {
+        let base = b"distance sketches".to_vec();
+        let reference = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "byte {byte} bit {bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! The artifact lifecycle: **build → save → inspect → load → serve**.
+//!
+//! [`SnapshotContents`] is a snapshot's logical content — the scheme spec,
+//! the graph fingerprint, the family-typed sketches, and (optionally) the
+//! construction cost.  The functions here move it between memory and bytes:
+//!
+//! * [`build_and_save`] — run a scheme's CONGEST construction and persist
+//!   the result in one step (the "pay once" half of the paper's bargain).
+//! * [`save_snapshot`] / [`write_snapshot`] — persist an already built
+//!   sketch set.
+//! * [`load_snapshot`] / [`read_snapshot`] — reload and CRC-verify.
+//! * [`load_oracle`] / [`load_oracle_for_graph`] — straight from a path to
+//!   a queryable `Box<dyn DistanceOracle>`, dispatching on the stored
+//!   [`SchemeSpec`]; the `for_graph` variant refuses to serve a snapshot
+//!   against a graph whose [`GraphFingerprint`] differs.
+//! * [`inspect_snapshot`] — header and section-table summary without
+//!   decoding the sketches.
+
+use crate::error::StoreError;
+use crate::format::{SectionEntry, SECTION_BUILD_STATS, SECTION_SKETCHES};
+use crate::snapshot::{RawSnapshot, SnapshotReader, SnapshotWriter};
+use congest_sim::RunStats;
+use dsketch::codec::SketchCodec;
+use dsketch::prelude::*;
+use netgraph::{Graph, GraphFingerprint};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// A family-typed, persistable sketch set: the concrete result of any of
+/// the four scheme constructions.
+#[derive(Debug, Clone)]
+pub enum StoredSketches {
+    /// Thorup–Zwick labels plus their sampled hierarchy.
+    ThorupZwick(TzSketchSet),
+    /// 3-stretch slack sketches plus their density net.
+    ThreeStretch(ThreeStretchSketchSet),
+    /// (ε, k)-CDG sketches.
+    Cdg(CdgSketchSet),
+    /// Gracefully degrading layered sketches.
+    Degrading(DegradingSketchSet),
+}
+
+impl StoredSketches {
+    /// The scheme identifier of the wrapped family.
+    pub fn scheme_name(&self) -> &'static str {
+        self.as_oracle().scheme_name()
+    }
+
+    /// Number of nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.as_oracle().num_nodes()
+    }
+
+    /// Borrow as the uniform query interface.
+    pub fn as_oracle(&self) -> &dyn DistanceOracle {
+        match self {
+            StoredSketches::ThorupZwick(s) => s,
+            StoredSketches::ThreeStretch(s) => s,
+            StoredSketches::Cdg(s) => s,
+            StoredSketches::Degrading(s) => s,
+        }
+    }
+
+    /// Convert into a boxed oracle (the serving layer's currency).
+    pub fn into_oracle(self) -> Box<dyn DistanceOracle> {
+        match self {
+            StoredSketches::ThorupZwick(s) => Box::new(s),
+            StoredSketches::ThreeStretch(s) => Box::new(s),
+            StoredSketches::Cdg(s) => Box::new(s),
+            StoredSketches::Degrading(s) => Box::new(s),
+        }
+    }
+
+    /// Encode the family payload (the `SKCH` section body).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        match self {
+            StoredSketches::ThorupZwick(s) => s.to_bytes(),
+            StoredSketches::ThreeStretch(s) => s.to_bytes(),
+            StoredSketches::Cdg(s) => s.to_bytes(),
+            StoredSketches::Degrading(s) => s.to_bytes(),
+        }
+    }
+
+    /// Decode the family payload, dispatching on the stored scheme spec.
+    pub fn decode_payload(spec: &SchemeSpec, bytes: &[u8]) -> Result<Self, StoreError> {
+        let wrap = |source| StoreError::Codec {
+            section: SECTION_SKETCHES,
+            source,
+        };
+        Ok(match spec {
+            SchemeSpec::ThorupZwick { .. } => {
+                StoredSketches::ThorupZwick(TzSketchSet::from_bytes(bytes).map_err(wrap)?)
+            }
+            SchemeSpec::ThreeStretch { .. } => StoredSketches::ThreeStretch(
+                ThreeStretchSketchSet::from_bytes(bytes).map_err(wrap)?,
+            ),
+            SchemeSpec::Cdg { .. } => {
+                StoredSketches::Cdg(CdgSketchSet::from_bytes(bytes).map_err(wrap)?)
+            }
+            SchemeSpec::Degrading { .. } => {
+                StoredSketches::Degrading(DegradingSketchSet::from_bytes(bytes).map_err(wrap)?)
+            }
+        })
+    }
+}
+
+/// The logical content of one snapshot.
+#[derive(Debug, Clone)]
+pub struct SnapshotContents {
+    /// The scheme the sketches were built with.
+    pub spec: SchemeSpec,
+    /// Fingerprint of the graph the sketches were built on.
+    pub fingerprint: GraphFingerprint,
+    /// The sketches themselves.
+    pub sketches: StoredSketches,
+    /// Construction cost of the build that produced the snapshot, when
+    /// recorded.
+    pub build_stats: Option<RunStats>,
+}
+
+impl SnapshotContents {
+    /// Refuse to use these sketches with a graph they were not built on.
+    pub fn verify_graph(&self, graph: &Graph) -> Result<(), StoreError> {
+        let actual = graph.fingerprint();
+        if actual != self.fingerprint {
+            return Err(StoreError::FingerprintMismatch {
+                snapshot: self.fingerprint,
+                graph: actual,
+            });
+        }
+        Ok(())
+    }
+
+    /// Convert into a queryable oracle.
+    pub fn into_oracle(self) -> Box<dyn DistanceOracle> {
+        self.sketches.into_oracle()
+    }
+}
+
+/// Serialize `contents` to any writer.  Returns the bytes written.
+pub fn write_snapshot<W: Write>(writer: W, contents: &SnapshotContents) -> Result<u64, StoreError> {
+    let mut snapshot = SnapshotWriter::new(contents.spec, contents.fingerprint);
+    snapshot.add_section(SECTION_SKETCHES, contents.sketches.encode_payload());
+    if let Some(stats) = &contents.build_stats {
+        snapshot.add_section(SECTION_BUILD_STATS, stats.to_bytes());
+    }
+    snapshot.write_to(writer)
+}
+
+/// Serialize `contents` to the file at `path`.  Returns the bytes written.
+pub fn save_snapshot<P: AsRef<Path>>(
+    path: P,
+    contents: &SnapshotContents,
+) -> Result<u64, StoreError> {
+    let file = std::fs::File::create(path)?;
+    write_snapshot(std::io::BufWriter::new(file), contents)
+}
+
+/// Read, verify and decode a snapshot from any reader.
+pub fn read_snapshot<R: Read>(reader: R) -> Result<SnapshotContents, StoreError> {
+    decode_raw(SnapshotReader::new(reader).read()?)
+}
+
+/// Read, verify and decode the snapshot at `path`.
+pub fn load_snapshot<P: AsRef<Path>>(path: P) -> Result<SnapshotContents, StoreError> {
+    let file = std::fs::File::open(path)?;
+    read_snapshot(std::io::BufReader::new(file))
+}
+
+fn decode_raw(raw: RawSnapshot) -> Result<SnapshotContents, StoreError> {
+    let spec = raw.spec();
+    let sketches = StoredSketches::decode_payload(&spec, raw.require_section(SECTION_SKETCHES)?)?;
+    let build_stats = raw
+        .section(SECTION_BUILD_STATS)
+        .map(RunStats::from_bytes)
+        .transpose()
+        .map_err(|source| StoreError::Codec {
+            section: SECTION_BUILD_STATS,
+            source,
+        })?;
+    Ok(SnapshotContents {
+        spec,
+        fingerprint: raw.fingerprint(),
+        sketches,
+        build_stats,
+    })
+}
+
+/// Load the snapshot at `path` straight into a queryable oracle.
+///
+/// The scheme is dispatched from the stored [`SchemeSpec`] — callers do not
+/// need to know which family the snapshot holds.  Use
+/// [`load_oracle_for_graph`] when the graph is at hand, so an oracle is
+/// never served against a topology it was not built for.
+pub fn load_oracle<P: AsRef<Path>>(path: P) -> Result<Box<dyn DistanceOracle>, StoreError> {
+    Ok(load_snapshot(path)?.into_oracle())
+}
+
+/// Like [`load_oracle`], but refuse with
+/// [`StoreError::FingerprintMismatch`] when `graph` is not the graph the
+/// snapshot was built on.
+pub fn load_oracle_for_graph<P: AsRef<Path>>(
+    path: P,
+    graph: &Graph,
+) -> Result<Box<dyn DistanceOracle>, StoreError> {
+    let contents = load_snapshot(path)?;
+    contents.verify_graph(graph)?;
+    Ok(contents.into_oracle())
+}
+
+/// Run the distributed construction for `spec` on `graph`, keeping the
+/// family-typed result (the build half of [`build_and_save`], exposed so
+/// callers can time or stage the two halves separately).
+pub fn build_stored(
+    graph: &Graph,
+    spec: SchemeSpec,
+    config: &SchemeConfig,
+) -> Result<SnapshotContents, StoreError> {
+    let fingerprint = graph.fingerprint();
+    let (sketches, stats) = match spec {
+        SchemeSpec::ThorupZwick { k } => {
+            let outcome = ThorupZwickScheme::new(k).build(graph, config)?;
+            (StoredSketches::ThorupZwick(outcome.sketches), outcome.stats)
+        }
+        SchemeSpec::ThreeStretch { eps } => {
+            let outcome = ThreeStretchScheme::new(eps).build(graph, config)?;
+            (
+                StoredSketches::ThreeStretch(outcome.sketches),
+                outcome.stats,
+            )
+        }
+        SchemeSpec::Cdg { eps, k } => {
+            let outcome = CdgScheme::new(eps, k).build(graph, config)?;
+            (StoredSketches::Cdg(outcome.sketches), outcome.stats)
+        }
+        SchemeSpec::Degrading { max_layers, max_k } => {
+            let outcome = DegradingScheme { max_layers, max_k }.build(graph, config)?;
+            (StoredSketches::Degrading(outcome.sketches), outcome.stats)
+        }
+    };
+    Ok(SnapshotContents {
+        spec,
+        fingerprint,
+        sketches,
+        build_stats: Some(stats),
+    })
+}
+
+/// Run the distributed construction for `spec` on `graph` and persist the
+/// result at `path` in one step.  Returns the saved contents and the number
+/// of bytes written.
+pub fn build_and_save<P: AsRef<Path>>(
+    graph: &Graph,
+    spec: SchemeSpec,
+    config: &SchemeConfig,
+    path: P,
+) -> Result<(SnapshotContents, u64), StoreError> {
+    let contents = build_stored(graph, spec, config)?;
+    let bytes = save_snapshot(path, &contents)?;
+    Ok((contents, bytes))
+}
+
+/// The edge-list → build → save one-shot: load a plain-text edge list
+/// (`netgraph::io` format), run the construction for `spec`, persist the
+/// snapshot at `out`.  Returns the loaded graph and the saved contents with
+/// the byte count.
+pub fn build_and_save_from_edge_list<P: AsRef<Path>, Q: AsRef<Path>>(
+    edge_list: P,
+    spec: SchemeSpec,
+    config: &SchemeConfig,
+    out: Q,
+) -> Result<(Graph, SnapshotContents, u64), StoreError> {
+    let graph = netgraph::io::load_edge_list(edge_list)?;
+    let (contents, bytes) = build_and_save(&graph, spec, config, out)?;
+    Ok((graph, contents, bytes))
+}
+
+/// A decoded header summary: what `dsketch-store inspect` prints.
+#[derive(Debug, Clone)]
+pub struct SnapshotSummary {
+    /// Format version of the snapshot.
+    pub version: u32,
+    /// The stored scheme spec.
+    pub spec: SchemeSpec,
+    /// The stored graph fingerprint.
+    pub fingerprint: GraphFingerprint,
+    /// The section table.
+    pub sections: Vec<SectionEntry>,
+    /// Total snapshot size in bytes.
+    pub total_bytes: u64,
+    /// Nodes covered by the sketches.
+    pub num_nodes: usize,
+    /// Largest per-node label, in CONGEST words.
+    pub max_words: usize,
+    /// Mean per-node label, in CONGEST words.
+    pub avg_words: f64,
+    /// Construction cost, when the snapshot recorded it.
+    pub build_stats: Option<RunStats>,
+}
+
+/// Summarize the snapshot at `path`: header fields, section table, label
+/// statistics.  Verifies all checksums along the way (an `inspect` that
+/// says "ok" means the snapshot will load).
+pub fn inspect_snapshot<P: AsRef<Path>>(path: P) -> Result<SnapshotSummary, StoreError> {
+    let file = std::fs::File::open(path)?;
+    let raw = SnapshotReader::new(std::io::BufReader::new(file)).read()?;
+    let sections = raw.header().sections.clone();
+    let version = raw.header().version;
+    let total_bytes = raw.total_bytes();
+    let contents = decode_raw(raw)?;
+    let oracle = contents.sketches.as_oracle();
+    Ok(SnapshotSummary {
+        version,
+        spec: contents.spec,
+        fingerprint: contents.fingerprint,
+        sections,
+        total_bytes,
+        num_nodes: oracle.num_nodes(),
+        max_words: oracle.max_words(),
+        avg_words: oracle.avg_words(),
+        build_stats: contents.build_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netgraph::generators::{erdos_renyi, GeneratorConfig};
+    use netgraph::NodeId;
+
+    fn graph() -> Graph {
+        erdos_renyi(48, 0.15, GeneratorConfig::uniform(5, 1, 20))
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("dsketch_store_pipeline_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn build_save_load_round_trip_matches_in_memory_estimates() {
+        let graph = graph();
+        let path = temp_path("tz.dsk");
+        let spec = SchemeSpec::thorup_zwick(2);
+        let config = SchemeConfig::default().with_seed(7);
+        let (contents, bytes) = build_and_save(&graph, spec, &config, &path).unwrap();
+        assert!(bytes > 0);
+        assert_eq!(contents.fingerprint, graph.fingerprint());
+
+        let loaded = load_oracle_for_graph(&path, &graph).unwrap();
+        let direct = contents.sketches.as_oracle();
+        for (u, v) in [(0u32, 1u32), (3, 40), (17, 23)] {
+            assert_eq!(
+                loaded.estimate(NodeId(u), NodeId(v)).unwrap(),
+                direct.estimate(NodeId(u), NodeId(v)).unwrap()
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_refused_with_a_typed_error() {
+        let graph = graph();
+        let path = temp_path("fp.dsk");
+        build_and_save(
+            &graph,
+            SchemeSpec::three_stretch(0.4),
+            &SchemeConfig::default().with_seed(3),
+            &path,
+        )
+        .unwrap();
+
+        // A structurally different graph (one extra node) must be refused.
+        let other = erdos_renyi(49, 0.15, GeneratorConfig::uniform(5, 1, 20));
+        let err = match load_oracle_for_graph(&path, &other) {
+            Ok(_) => panic!("mismatched graph must be refused"),
+            Err(e) => e,
+        };
+        assert!(
+            matches!(err, StoreError::FingerprintMismatch { .. }),
+            "{err}"
+        );
+        // But the untyped load still works (fingerprint checking is the
+        // caller's choice when no graph is at hand).
+        assert!(load_oracle(&path).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inspect_reports_the_section_table() {
+        let graph = graph();
+        let path = temp_path("inspect.dsk");
+        build_and_save(
+            &graph,
+            SchemeSpec::thorup_zwick(2),
+            &SchemeConfig::default().with_seed(1),
+            &path,
+        )
+        .unwrap();
+        let summary = inspect_snapshot(&path).unwrap();
+        assert_eq!(summary.version, crate::format::FORMAT_VERSION);
+        assert_eq!(summary.num_nodes, 48);
+        assert!(summary.max_words > 0);
+        assert_eq!(summary.sections.len(), 2, "SKCH + STAT");
+        assert!(summary.build_stats.unwrap().rounds > 0);
+        assert_eq!(summary.total_bytes, std::fs::metadata(&path).unwrap().len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn edge_list_one_shot_pipeline() {
+        let graph = graph();
+        let edges = temp_path("graph.edges");
+        netgraph::io::save_edge_list(&graph, &edges).unwrap();
+        let out = temp_path("from_edges.dsk");
+        let (loaded_graph, contents, _) = build_and_save_from_edge_list(
+            &edges,
+            SchemeSpec::thorup_zwick(2),
+            &SchemeConfig::default().with_seed(7),
+            &out,
+        )
+        .unwrap();
+        assert_eq!(loaded_graph.fingerprint(), graph.fingerprint());
+        assert_eq!(contents.fingerprint, graph.fingerprint());
+        // The snapshot built from the re-loaded graph serves against the
+        // original graph: the fingerprints agree.
+        assert!(load_oracle_for_graph(&out, &graph).is_ok());
+        std::fs::remove_file(&edges).ok();
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn missing_sketch_section_is_a_typed_error() {
+        let graph = graph();
+        let writer = SnapshotWriter::new(SchemeSpec::thorup_zwick(2), graph.fingerprint());
+        let path = temp_path("empty.dsk");
+        let file = std::fs::File::create(&path).unwrap();
+        writer.write_to(file).unwrap();
+        let err = match load_oracle(&path) {
+            Ok(_) => panic!("snapshot without a SKCH section must be refused"),
+            Err(e) => e,
+        };
+        assert!(matches!(err, StoreError::MissingSection { .. }), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,342 @@
+//! Streaming the `DSK1` container to and from `Write` / `Read`.
+//!
+//! [`SnapshotWriter`] buffers named sections, then emits the header
+//! (section table with offsets and CRCs) followed by the payloads in one
+//! pass — so it can target any `Write`, including pipes.  [`SnapshotReader`]
+//! consumes any `Read` sequentially: prelude, header block, payload; the
+//! payload is read **once** into a single buffer and sections are handed
+//! out as slices of it (no per-section copies), which is what makes loading
+//! a large snapshot cheap next to rebuilding it.
+
+use crate::crc32::crc32;
+use crate::error::StoreError;
+use crate::format::{Header, SectionEntry, SectionId, FORMAT_VERSION};
+use dsketch::SchemeSpec;
+use netgraph::GraphFingerprint;
+use std::io::{Read, Write};
+
+/// Builds a snapshot: declare the identity (scheme + graph fingerprint),
+/// add sections, write everything out in one pass.
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    spec: SchemeSpec,
+    fingerprint: GraphFingerprint,
+    sections: Vec<(SectionId, Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// A writer for sketches of `spec` built on a graph with `fingerprint`.
+    pub fn new(spec: SchemeSpec, fingerprint: GraphFingerprint) -> Self {
+        SnapshotWriter {
+            spec,
+            fingerprint,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Append a section.  Sections are written in insertion order; ids
+    /// should be unique (readers take the first match).
+    pub fn add_section(&mut self, id: SectionId, payload: Vec<u8>) -> &mut Self {
+        self.sections.push((id, payload));
+        self
+    }
+
+    /// Write the complete snapshot to `writer`.  Returns the total number
+    /// of bytes written.
+    pub fn write_to<W: Write>(&self, mut writer: W) -> Result<u64, StoreError> {
+        let mut entries = Vec::with_capacity(self.sections.len());
+        let mut offset = 0u64;
+        for (id, payload) in &self.sections {
+            entries.push(SectionEntry {
+                id: *id,
+                offset,
+                len: payload.len() as u64,
+                crc: crc32(payload),
+            });
+            offset += payload.len() as u64;
+        }
+        let header = Header {
+            version: FORMAT_VERSION,
+            spec: self.spec,
+            fingerprint: self.fingerprint,
+            sections: entries,
+        };
+        let header_bytes = header.to_bytes();
+        writer.write_all(&header_bytes)?;
+        for (_, payload) in &self.sections {
+            writer.write_all(payload)?;
+        }
+        writer.flush()?;
+        Ok(header_bytes.len() as u64 + offset)
+    }
+}
+
+/// A fully read, CRC-verified snapshot: the header plus one payload buffer,
+/// with sections exposed as slices into it.
+#[derive(Debug, Clone)]
+pub struct RawSnapshot {
+    header: Header,
+    payload: Vec<u8>,
+    /// Total on-disk size (header block + payload), for reporting.
+    total_bytes: u64,
+}
+
+impl RawSnapshot {
+    /// The verified header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// The scheme recorded in the header.
+    pub fn spec(&self) -> SchemeSpec {
+        self.header.spec
+    }
+
+    /// The graph fingerprint recorded in the header.
+    pub fn fingerprint(&self) -> GraphFingerprint {
+        self.header.fingerprint
+    }
+
+    /// Total snapshot size in bytes (header + payload).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// The payload of the first section with `id`, if present.  Unknown
+    /// sections are simply never asked for — that is the forward-compat
+    /// path: a newer writer's extra sections are carried and ignored.
+    pub fn section(&self, id: SectionId) -> Option<&[u8]> {
+        self.header.sections.iter().find(|s| s.id == id).map(|s| {
+            let lo = s.offset as usize;
+            &self.payload[lo..lo + s.len as usize]
+        })
+    }
+
+    /// Like [`RawSnapshot::section`] but a [`StoreError::MissingSection`]
+    /// when absent.
+    pub fn require_section(&self, id: SectionId) -> Result<&[u8], StoreError> {
+        self.section(id)
+            .ok_or(StoreError::MissingSection { section: id })
+    }
+}
+
+/// Reads and verifies a snapshot from any `Read`.
+#[derive(Debug)]
+pub struct SnapshotReader<R: Read> {
+    inner: R,
+}
+
+impl<R: Read> SnapshotReader<R> {
+    /// A reader over `inner`.
+    pub fn new(inner: R) -> Self {
+        SnapshotReader { inner }
+    }
+
+    /// Read the whole snapshot: parse and CRC-check the header, read the
+    /// payload area, CRC-check every section.  Fails with a typed
+    /// [`StoreError`] on truncation, corruption, or version mismatch.
+    pub fn read(mut self) -> Result<RawSnapshot, StoreError> {
+        let mut prelude = [0u8; 12];
+        read_exact(&mut self.inner, &mut prelude, "prelude")?;
+        // Check magic and version *before* trusting the header length, so a
+        // non-snapshot file fails as "not a snapshot", not as a huge
+        // garbage-length read.
+        let magic: [u8; 4] = prelude[0..4].try_into().expect("4 bytes");
+        if magic != crate::format::MAGIC {
+            return Err(StoreError::BadMagic { found: magic });
+        }
+        let version = u32::from_le_bytes(prelude[4..8].try_into().expect("4 bytes"));
+        if version > crate::format::FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: crate::format::FORMAT_VERSION,
+            });
+        }
+        let header_len = u32::from_le_bytes(prelude[8..12].try_into().expect("4 bytes")) as usize;
+        let mut block = vec![0u8; header_len];
+        read_exact(&mut self.inner, &mut block, "header")?;
+        let header = Header::from_parts(&prelude, &block)?;
+
+        let payload_len = header.payload_len();
+        usize::try_from(payload_len).map_err(|_| StoreError::MalformedSectionTable {
+            message: format!("payload length {payload_len} does not fit in memory"),
+        })?;
+        // Read through `take` rather than pre-allocating the declared
+        // length: a crafted header claiming a huge payload then costs only
+        // as much memory as the stream actually contains, and a short
+        // stream surfaces as Truncated instead of an OOM attempt.
+        let mut payload = Vec::new();
+        self.inner
+            .by_ref()
+            .take(payload_len)
+            .read_to_end(&mut payload)?;
+        if (payload.len() as u64) < payload_len {
+            return Err(StoreError::Truncated {
+                context: "section payload",
+            });
+        }
+
+        for entry in &header.sections {
+            let lo = entry.offset as usize;
+            let bytes = &payload[lo..lo + entry.len as usize];
+            let actual = crc32(bytes);
+            if actual != entry.crc {
+                return Err(StoreError::SectionChecksumMismatch {
+                    section: entry.id,
+                    expected: entry.crc,
+                    actual,
+                });
+            }
+        }
+
+        Ok(RawSnapshot {
+            total_bytes: 12 + header_len as u64 + payload_len,
+            header,
+            payload,
+        })
+    }
+}
+
+fn read_exact<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), StoreError> {
+    reader.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Truncated { context }
+        } else {
+            StoreError::Io(e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{SECTION_BUILD_STATS, SECTION_SKETCHES};
+
+    fn fingerprint() -> GraphFingerprint {
+        GraphFingerprint {
+            nodes: 5,
+            edges: 4,
+            weight_checksum: 42,
+        }
+    }
+
+    fn sample_bytes() -> Vec<u8> {
+        let mut writer = SnapshotWriter::new(SchemeSpec::cdg(0.25, 2), fingerprint());
+        writer.add_section(SECTION_SKETCHES, vec![1, 2, 3, 4, 5]);
+        writer.add_section(SECTION_BUILD_STATS, vec![9; 48]);
+        let mut out = Vec::new();
+        let written = writer.write_to(&mut out).unwrap();
+        assert_eq!(written as usize, out.len());
+        out
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let bytes = sample_bytes();
+        let snapshot = SnapshotReader::new(bytes.as_slice()).read().unwrap();
+        assert_eq!(snapshot.spec(), SchemeSpec::cdg(0.25, 2));
+        assert_eq!(snapshot.fingerprint(), fingerprint());
+        assert_eq!(
+            snapshot.section(SECTION_SKETCHES),
+            Some(&[1, 2, 3, 4, 5][..])
+        );
+        assert_eq!(snapshot.section(SECTION_BUILD_STATS).unwrap().len(), 48);
+        assert_eq!(snapshot.total_bytes(), bytes.len() as u64);
+        assert!(snapshot.section(SectionId(*b"NOPE")).is_none());
+        assert!(matches!(
+            snapshot.require_section(SectionId(*b"NOPE")),
+            Err(StoreError::MissingSection { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_sections_are_carried_and_ignored() {
+        // A "newer writer" adds a section this reader knows nothing about:
+        // the known sections must still load.
+        let mut writer = SnapshotWriter::new(SchemeSpec::thorup_zwick(2), fingerprint());
+        writer.add_section(SectionId(*b"FUTR"), vec![0xAB; 32]);
+        writer.add_section(SECTION_SKETCHES, vec![7, 7, 7]);
+        let mut bytes = Vec::new();
+        writer.write_to(&mut bytes).unwrap();
+        let snapshot = SnapshotReader::new(bytes.as_slice()).read().unwrap();
+        assert_eq!(snapshot.section(SECTION_SKETCHES), Some(&[7u8, 7, 7][..]));
+        assert_eq!(snapshot.section(SectionId(*b"FUTR")).unwrap().len(), 32);
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_typed_error() {
+        let bytes = sample_bytes();
+        for cut in 0..bytes.len() {
+            let err = SnapshotReader::new(&bytes[..cut]).read().unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    StoreError::Truncated { .. }
+                        | StoreError::BadMagic { .. }
+                        | StoreError::HeaderChecksumMismatch { .. }
+                ),
+                "cut at {cut}: unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_bit_flips_are_detected() {
+        let bytes = sample_bytes();
+        // Flip one bit in every payload byte (the header flips are covered
+        // by the format tests); each must surface as a checksum mismatch.
+        let payload_start = bytes.len() - (5 + 48);
+        for byte in payload_start..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[byte] ^= 0x01;
+            let err = SnapshotReader::new(flipped.as_slice()).read().unwrap_err();
+            assert!(
+                matches!(err, StoreError::SectionChecksumMismatch { .. }),
+                "flip at {byte}: unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_declared_payload_fails_without_allocating_it() {
+        // A self-consistent header (valid magic, version, CRC) whose section
+        // table declares a terabyte of payload must fail as Truncated when
+        // the bytes are not there — not attempt the allocation up front.
+        let header = crate::format::Header {
+            version: FORMAT_VERSION,
+            spec: SchemeSpec::thorup_zwick(2),
+            fingerprint: fingerprint(),
+            sections: vec![crate::format::SectionEntry {
+                id: SECTION_SKETCHES,
+                offset: 0,
+                len: 1 << 40,
+                crc: 0,
+            }],
+        };
+        let bytes = header.to_bytes();
+        let err = SnapshotReader::new(bytes.as_slice()).read().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::Truncated {
+                    context: "section payload"
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let writer = SnapshotWriter::new(SchemeSpec::degrading(), fingerprint());
+        let mut bytes = Vec::new();
+        writer.write_to(&mut bytes).unwrap();
+        let snapshot = SnapshotReader::new(bytes.as_slice()).read().unwrap();
+        assert_eq!(snapshot.spec(), SchemeSpec::degrading());
+        assert_eq!(snapshot.header().sections.len(), 0);
+    }
+}

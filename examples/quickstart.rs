@@ -10,13 +10,82 @@
 //! cargo run --release --bin quickstart -- --scheme cdg:0.2,2
 //! cargo run --release --bin quickstart -- --scheme degrading:3
 //! ```
+//!
+//! Sketches are an artifact: pay the construction once, keep the file.
+//! `--save g.dsk` persists the built sketches as a `DSK1` snapshot;
+//! `--load g.dsk` skips the construction entirely and answers the same
+//! queries from the snapshot (refusing a snapshot built on a different
+//! graph):
+//!
+//! ```text
+//! cargo run --release --bin quickstart -- --scheme tz:3 --save g.dsk
+//! cargo run --release --bin quickstart -- --scheme tz:3 --load g.dsk
+//! ```
 
 use dsketch::prelude::*;
 use dsketch_examples::{arg_parse, arg_value, print_table};
 use netgraph::diameter::estimate_diameters;
 use netgraph::generators::{erdos_renyi, GeneratorConfig};
 use netgraph::shortest_path::dijkstra;
-use netgraph::NodeId;
+use netgraph::{Graph, NodeId};
+
+/// Build in the CONGEST simulator (optionally saving the snapshot), or
+/// cold-start from a previously saved snapshot.
+fn obtain_oracle(
+    graph: &Graph,
+    spec: SchemeSpec,
+    seed: u64,
+    save: Option<String>,
+    load: Option<String>,
+) -> Box<dyn DistanceOracle> {
+    if let Some(path) = load {
+        println!("\nloading '{spec}' sketches from snapshot {path} (no construction) ...");
+        let started = std::time::Instant::now();
+        let oracle = dsketch_store::load_oracle_for_graph(&path, graph).unwrap_or_else(|e| {
+            eprintln!("load failed: {e}");
+            std::process::exit(2);
+        });
+        println!(
+            "cold start: {:.1} ms, zero CONGEST rounds",
+            started.elapsed().as_secs_f64() * 1e3
+        );
+        return oracle;
+    }
+
+    println!("\nbuilding '{spec}' sketches with the distributed CONGEST construction ...");
+    if let Some(path) = save {
+        // Build through the store pipeline, which keeps the family-typed
+        // sketches, so the same build is both saved and queried.
+        let config = SchemeConfig::default().with_seed(seed);
+        let contents = dsketch_store::build_stored(graph, spec, &config).unwrap_or_else(|e| {
+            eprintln!("construction failed: {e}");
+            std::process::exit(2);
+        });
+        let stats = contents.build_stats.clone().expect("build records stats");
+        println!(
+            "construction: {} rounds, {} messages, {} words on the wire",
+            stats.rounds, stats.messages, stats.words
+        );
+        let bytes = dsketch_store::save_snapshot(&path, &contents).unwrap_or_else(|e| {
+            eprintln!("save failed: {e}");
+            std::process::exit(2);
+        });
+        println!("saved snapshot {path}: {bytes} bytes (reload with --load {path})");
+        return contents.into_oracle();
+    }
+    let outcome = SketchBuilder::new(spec)
+        .seed(seed)
+        .build(graph)
+        .unwrap_or_else(|e| {
+            eprintln!("construction failed: {e}");
+            std::process::exit(2);
+        });
+    println!(
+        "construction: {} rounds, {} messages, {} words on the wire",
+        outcome.stats.rounds, outcome.stats.messages, outcome.stats.words
+    );
+    outcome.sketches
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -39,18 +108,12 @@ fn main() {
         diam.shortest_path_diameter
     );
 
-    println!("\nbuilding '{spec}' sketches with the distributed CONGEST construction ...");
-    let outcome = SketchBuilder::new(spec)
-        .seed(seed)
-        .build(&graph)
-        .unwrap_or_else(|e| {
-            eprintln!("construction failed: {e}");
-            std::process::exit(2);
-        });
-    let oracle = &outcome.sketches;
-    println!(
-        "construction: {} rounds, {} messages, {} words on the wire",
-        outcome.stats.rounds, outcome.stats.messages, outcome.stats.words
+    let oracle = obtain_oracle(
+        &graph,
+        spec,
+        seed,
+        arg_value(&args, "save"),
+        arg_value(&args, "load"),
     );
     println!(
         "sketch size: max {} words, average {:.1} words (exact oracle would need {} words/node)",

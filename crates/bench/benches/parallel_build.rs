@@ -1,0 +1,69 @@
+//! Bench for the direct parallel construction engine (`dsketch::build`):
+//! how wall-clock build time scales with the worker-thread count, and how
+//! the direct engine compares against the CONGEST simulation at equal
+//! output.
+//!
+//! The output is identical at every thread count (experiment `e14` and the
+//! `parallel_build` integration suite assert byte-identical snapshots);
+//! this bench measures only the speed.  Meaningful speedup requires a host
+//! with more than one core — the determinism results hold regardless.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsketch::prelude::*;
+use dsketch_bench::workloads::{Workload, WorkloadSpec};
+use std::hint::black_box;
+
+/// Thread-scaling of the parallel engine on a graph big enough for the
+/// cluster phase to dominate.
+fn bench_parallel_threads(c: &mut Criterion) {
+    let graph = WorkloadSpec::new(Workload::ErdosRenyi, 1024, 42).build();
+    let scheme = ThorupZwickScheme::new(3);
+
+    let mut group = c.benchmark_group("parallel_build_thread_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("threads={threads}")),
+            &threads,
+            |b, &threads| {
+                let config = SchemeConfig::default()
+                    .with_seed(7)
+                    .with_parallel_build()
+                    .with_threads(threads);
+                b.iter(|| {
+                    let outcome = scheme.build(&graph, &config).unwrap();
+                    black_box(outcome.sketches.sketches.max_words())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Direct engine vs CONGEST simulation at a size the simulator can still
+/// handle in a bench iteration: the price of paper-faithful accounting.
+fn bench_engine_comparison(c: &mut Criterion) {
+    let graph = WorkloadSpec::new(Workload::ErdosRenyi, 256, 42).build();
+    let scheme = ThorupZwickScheme::new(3);
+
+    let mut group = c.benchmark_group("build_engine_comparison");
+    group.sample_size(10);
+    for (label, config) in [
+        ("congest", SchemeConfig::default().with_seed(7)),
+        (
+            "parallel",
+            SchemeConfig::default().with_seed(7).with_parallel_build(),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            b.iter(|| {
+                let outcome = scheme.build(&graph, config).unwrap();
+                black_box(outcome.sketches.sketches.max_words())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_threads, bench_engine_comparison);
+criterion_main!(benches);

@@ -16,11 +16,14 @@
 //! Flags (all optional): `--scheme tz:3|3stretch:ε|cdg:ε,k|degrading[:k]`,
 //! `--topology erdos-renyi|grid|ring|power-law`, `--nodes N`,
 //! `--queries N`, `--shards N`, `--batch N`, `--cache N` (0 disables),
-//! `--queue N`, `--workload uniform|hotspot|adversarial|all`, `--seed N`.
+//! `--queue N`, `--workload uniform|hotspot|adversarial|all`, `--seed N`,
+//! `--threads N` (parallel-engine worker count, 0 = all cores) and
+//! `--engine parallel|congest` (default `parallel`; `congest` runs the
+//! paper-faithful simulation and reports its round/message cost).
 
 use dsketch::prelude::*;
 use dsketch_bench::workloads::{QueryWorkload, Workload, WorkloadSpec};
-use dsketch_bench::{arg_parse, arg_value, Table};
+use dsketch_bench::{arg_engine, arg_parse_or_exit, arg_value, Table};
 use dsketch_serve::{ServeConfig, SketchServer};
 use std::sync::Arc;
 use std::time::Instant;
@@ -30,13 +33,15 @@ fn main() {
     let scheme_text = arg_value(&args, "scheme").unwrap_or_else(|| "tz:3".to_string());
     let topology_text = arg_value(&args, "topology").unwrap_or_else(|| "erdos-renyi".to_string());
     let workload_text = arg_value(&args, "workload").unwrap_or_else(|| "all".to_string());
-    let n: usize = arg_parse(&args, "nodes", 512);
-    let queries: usize = arg_parse(&args, "queries", 100_000);
-    let shards: usize = arg_parse(&args, "shards", 4);
-    let batch: usize = arg_parse(&args, "batch", 256);
-    let cache: usize = arg_parse(&args, "cache", 4096);
-    let queue: usize = arg_parse(&args, "queue", 64);
-    let seed: u64 = arg_parse(&args, "seed", 42);
+    let n: usize = arg_parse_or_exit(&args, "nodes", 512);
+    let queries: usize = arg_parse_or_exit(&args, "queries", 100_000);
+    let shards: usize = arg_parse_or_exit(&args, "shards", 4);
+    let batch: usize = arg_parse_or_exit(&args, "batch", 256);
+    let cache: usize = arg_parse_or_exit(&args, "cache", 4096);
+    let queue: usize = arg_parse_or_exit(&args, "queue", 64);
+    let seed: u64 = arg_parse_or_exit(&args, "seed", 42);
+    let threads: usize = arg_parse_or_exit(&args, "threads", 0);
+    let engine = arg_engine(&args);
 
     let spec = SchemeSpec::parse(&scheme_text).unwrap_or_else(|e| {
         eprintln!("--scheme {scheme_text}: {e}");
@@ -77,23 +82,39 @@ fn main() {
         graph.num_edges()
     );
 
-    print!("building {spec} sketches in the CONGEST simulator… ");
+    match engine {
+        BuildEngine::Parallel => print!(
+            "building {spec} sketches with the parallel engine ({} worker threads)… ",
+            dsketch::parallel::resolve_threads(threads)
+        ),
+        BuildEngine::Congest => print!("building {spec} sketches in the CONGEST simulator… "),
+    }
     let build_started = Instant::now();
     let outcome = SketchBuilder::new(spec)
         .seed(seed)
+        .engine(engine)
+        .threads(threads)
         .build(&graph)
         .unwrap_or_else(|e| {
             eprintln!("construction failed: {e}");
             std::process::exit(1);
         });
     println!("done in {:.1}s", build_started.elapsed().as_secs_f64());
-    println!(
-        "construction: {} rounds, {} messages; labels ≤ {} words/node (avg {:.1})",
-        outcome.stats.rounds,
-        outcome.stats.messages,
-        outcome.sketches.max_words(),
-        outcome.sketches.avg_words()
-    );
+    match engine {
+        BuildEngine::Parallel => println!(
+            "construction: labels ≤ {} words/node (avg {:.1}); re-run with --engine congest \
+             for the paper's round/message accounting",
+            outcome.sketches.max_words(),
+            outcome.sketches.avg_words()
+        ),
+        BuildEngine::Congest => println!(
+            "construction: {} rounds, {} messages; labels ≤ {} words/node (avg {:.1})",
+            outcome.stats.rounds,
+            outcome.stats.messages,
+            outcome.sketches.max_words(),
+            outcome.sketches.avg_words()
+        ),
+    }
     let oracle: Arc<dyn DistanceOracle> = Arc::from(outcome.sketches);
 
     let config = ServeConfig {

@@ -2,13 +2,19 @@
 //! **build → save → inspect → load → serve**.
 //!
 //! ```text
-//! # pay the CONGEST construction once, keep the artifact
+//! # pay the construction once, keep the artifact (parallel engine,
+//! # all cores; --threads N pins the worker count — the snapshot bytes
+//! # are bit-identical for every N)
 //! cargo run --release -p dsketch-bench --bin dsketch-store -- \
-//!     build --scheme tz:3 --nodes 512 --out g.dsk
+//!     build --scheme tz:3 --nodes 512 --threads 8 --out g.dsk
 //!
 //! # build from a persisted edge list instead of a generated topology
 //! cargo run --release -p dsketch-bench --bin dsketch-store -- \
 //!     build --scheme cdg:0.2,2 --edges graph.txt --out g.dsk
+//!
+//! # measure the CONGEST round/message cost instead (the paper's currency)
+//! cargo run --release -p dsketch-bench --bin dsketch-store -- \
+//!     build --scheme tz:3 --nodes 512 --engine congest --out g.dsk
 //!
 //! # what is in the file? (also verifies every checksum)
 //! cargo run --release -p dsketch-bench --bin dsketch-store -- inspect --snapshot g.dsk
@@ -24,12 +30,14 @@
 //!
 //! `build` flags: `--scheme`, `--out`, and either `--edges <path>` (load a
 //! `netgraph::io` edge list) or `--topology erdos-renyi|grid|ring|power-law`
-//! with `--nodes N`; plus `--seed N`.  `serve` flags: `--snapshot`,
-//! `--queries`, `--shards`, `--batch`, `--cache`, `--workload`, `--seed`.
+//! with `--nodes N`; plus `--seed N`, `--threads N` (parallel engine worker
+//! count, 0 = all cores) and `--engine parallel|congest` (default
+//! `parallel`).  `serve` flags: `--snapshot`, `--queries`, `--shards`,
+//! `--batch`, `--cache`, `--workload`, `--seed`.
 
 use dsketch::prelude::*;
 use dsketch_bench::workloads::{QueryWorkload, Workload, WorkloadSpec};
-use dsketch_bench::{arg_parse, arg_value, Table};
+use dsketch_bench::{arg_engine, arg_parse_or_exit, arg_value, Table};
 use dsketch_serve::{ServeConfig, SketchServer};
 use dsketch_store::{build_and_save, build_and_save_from_edge_list, inspect_snapshot, load_oracle};
 use std::sync::Arc;
@@ -47,6 +55,7 @@ fn usage() -> ! {
         "usage: dsketch-store <build|inspect|query|serve> [flags]\n\
          \n\
          build   --scheme SPEC --out FILE [--edges FILE | --topology T --nodes N] [--seed N]\n\
+         \u{20}        [--threads N] [--engine parallel|congest]\n\
          inspect --snapshot FILE\n\
          query   --snapshot FILE --u NODE --v NODE\n\
          serve   --snapshot FILE [--queries N] [--shards N] [--batch N] [--cache N]\n\
@@ -69,12 +78,17 @@ fn main() {
 fn cmd_build(args: &[String]) {
     let scheme_text = required(args, "scheme");
     let out = required(args, "out");
-    let seed: u64 = arg_parse(args, "seed", 42);
+    let seed: u64 = arg_parse_or_exit(args, "seed", 42);
+    let threads: usize = arg_parse_or_exit(args, "threads", 0);
+    let engine = arg_engine(args);
     let spec = SchemeSpec::parse(&scheme_text).unwrap_or_else(|e| {
         eprintln!("--scheme {scheme_text}: {e}");
         std::process::exit(2);
     });
-    let config = SchemeConfig::default().with_seed(seed);
+    let config = SchemeConfig::default()
+        .with_seed(seed)
+        .with_engine(engine)
+        .with_threads(threads);
 
     let build_started = Instant::now();
     let (graph_label, graph, contents, bytes) = if let Some(edges) = arg_value(args, "edges") {
@@ -86,7 +100,7 @@ fn cmd_build(args: &[String]) {
             });
         (edges, graph, contents, bytes)
     } else {
-        let n: usize = arg_parse(args, "nodes", 512);
+        let n: usize = arg_parse_or_exit(args, "nodes", 512);
         let topology_text =
             arg_value(args, "topology").unwrap_or_else(|| "erdos-renyi".to_string());
         let topology = Workload::all()
@@ -115,14 +129,23 @@ fn cmd_build(args: &[String]) {
         graph.num_edges(),
         graph.fingerprint()
     );
-    let stats = contents.build_stats.as_ref().expect("build records stats");
-    println!(
-        "built {spec} in {:.2}s: {} rounds, {} messages, {} words on the wire",
-        elapsed.as_secs_f64(),
-        stats.rounds,
-        stats.messages,
-        stats.words
-    );
+    match engine {
+        BuildEngine::Parallel => println!(
+            "built {spec} with the parallel engine ({} worker threads) in {:.2}s",
+            dsketch::parallel::resolve_threads(threads),
+            elapsed.as_secs_f64(),
+        ),
+        BuildEngine::Congest => {
+            let stats = contents.build_stats.as_ref().expect("build records stats");
+            println!(
+                "built {spec} in {:.2}s: {} rounds, {} messages, {} words on the wire",
+                elapsed.as_secs_f64(),
+                stats.rounds,
+                stats.messages,
+                stats.words
+            );
+        }
+    }
     println!(
         "saved {out}: {bytes} bytes for {} nodes (≤ {} words/node, avg {:.1})",
         contents.sketches.num_nodes(),
@@ -146,10 +169,11 @@ fn cmd_inspect(args: &[String]) {
         summary.num_nodes, summary.max_words, summary.avg_words
     );
     match &summary.build_stats {
-        Some(stats) => println!(
+        Some(stats) if stats.rounds > 0 => println!(
             "built in:    {} rounds, {} messages, {} words on the wire",
             stats.rounds, stats.messages, stats.words
         ),
+        Some(_) => println!("built in:    parallel engine (no simulated CONGEST rounds)"),
         None => println!("built in:    (not recorded)"),
     }
     println!("total bytes: {}", summary.total_bytes);
@@ -167,9 +191,15 @@ fn cmd_inspect(args: &[String]) {
 }
 
 fn cmd_query(args: &[String]) {
+    let node = |name| {
+        required(args, name).parse::<u32>().unwrap_or_else(|_| {
+            eprintln!("--{name} must be a node id (a non-negative integer)");
+            std::process::exit(2);
+        })
+    };
     let path = required(args, "snapshot");
-    let u: u32 = arg_parse(args, "u", 0);
-    let v: u32 = arg_parse(args, "v", 1);
+    let u = node("u");
+    let v = node("v");
     let oracle = load_oracle(&path).unwrap_or_else(|e| {
         eprintln!("load failed: {e}");
         std::process::exit(1);
@@ -188,11 +218,11 @@ fn cmd_query(args: &[String]) {
 
 fn cmd_serve(args: &[String]) {
     let path = required(args, "snapshot");
-    let queries: usize = arg_parse(args, "queries", 100_000);
-    let shards: usize = arg_parse(args, "shards", 4);
-    let batch: usize = arg_parse(args, "batch", 256);
-    let cache: usize = arg_parse(args, "cache", 4096);
-    let seed: u64 = arg_parse(args, "seed", 42);
+    let queries: usize = arg_parse_or_exit(args, "queries", 100_000);
+    let shards: usize = arg_parse_or_exit(args, "shards", 4);
+    let batch: usize = arg_parse_or_exit(args, "batch", 256);
+    let cache: usize = arg_parse_or_exit(args, "cache", 4096);
+    let seed: u64 = arg_parse_or_exit(args, "seed", 42);
     let workload_text = arg_value(args, "workload").unwrap_or_else(|| "uniform".to_string());
     let shape = QueryWorkload::parse(&workload_text).unwrap_or_else(|| {
         eprintln!(

@@ -17,9 +17,9 @@ use netgraph::{Graph, NodeId};
 /// The experiment identifiers, in DESIGN.md order (`e11` exercises the
 /// scheme-polymorphic API over every family, `e12` the sharded serving
 /// layer built on top of it, `e13` the snapshot persistence layer under
-/// it).
-pub const EXPERIMENT_IDS: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+/// it, `e14` the parallel construction engine's thread scaling).
+pub const EXPERIMENT_IDS: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];
 
 /// The output of one experiment.
@@ -64,6 +64,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentResult> {
         "e11" => Some(e11_scheme_matrix(quick)),
         "e12" => Some(e12_query_throughput(quick)),
         "e13" => Some(e13_snapshot_cold_start(quick)),
+        "e14" => Some(e14_parallel_build_scaling(quick)),
         _ => None,
     }
 }
@@ -805,6 +806,92 @@ fn e13_snapshot_cold_start(quick: bool) -> ExperimentResult {
     }
 }
 
+/// E14 — parallel construction engine: thread scaling and determinism.
+///
+/// For every scheme family (and, for `tz:3`, growing graph sizes up to
+/// n = 4096 in full mode), build with the direct parallel engine at
+/// increasing worker-thread counts.  The "speedup" column is the
+/// single-thread build time over this thread count's build time; the
+/// "identical" column re-serializes the build as `DSK1` snapshot bytes and
+/// compares them against the 1-thread snapshot — the engine's determinism
+/// contract is that they are byte-for-byte equal.  The "cores" column
+/// records the host's available parallelism: wall-clock speedup can only
+/// materialize up to that limit (the determinism columns hold regardless).
+fn e14_parallel_build_scaling(quick: bool) -> ExperimentResult {
+    use dsketch_store::{build_stored, write_snapshot};
+    use std::time::Instant;
+
+    let cores = dsketch::parallel::available_parallelism();
+    let thread_axis: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let repeats = if quick { 1 } else { 2 };
+
+    let base = if quick { 96 } else { 256 };
+    let mut cases: Vec<(SchemeSpec, usize)> = SchemeSpec::all_families()
+        .into_iter()
+        .map(|spec| (spec, base))
+        .collect();
+    if !quick {
+        cases.push((SchemeSpec::thorup_zwick(3), 1024));
+        cases.push((SchemeSpec::thorup_zwick(3), 4096));
+    }
+
+    let mut table = Table::new(&[
+        "scheme",
+        "n",
+        "threads",
+        "cores",
+        "build ms",
+        "speedup vs 1T",
+        "identical bytes",
+    ]);
+    for (spec, n) in cases {
+        let graph = WorkloadSpec::new(Workload::ErdosRenyi, n, 42).build();
+        let mut reference: Option<(Vec<u8>, f64)> = None; // (t=1 bytes, t=1 secs)
+        for &threads in thread_axis {
+            let config = SchemeConfig::default()
+                .with_seed(13)
+                .with_parallel_build()
+                .with_threads(threads);
+            let mut best = f64::INFINITY;
+            let mut bytes = Vec::new();
+            for _ in 0..repeats {
+                let started = Instant::now();
+                let contents = build_stored(&graph, spec, &config).expect("parallel construction");
+                best = best.min(started.elapsed().as_secs_f64());
+                bytes.clear();
+                write_snapshot(&mut bytes, &contents).expect("serialize snapshot");
+            }
+            let (identical, speedup) = match &reference {
+                None => {
+                    reference = Some((std::mem::take(&mut bytes), best));
+                    (true, 1.0)
+                }
+                Some((reference_bytes, reference_secs)) => {
+                    (*reference_bytes == bytes, reference_secs / best.max(1e-12))
+                }
+            };
+            table.push(vec![
+                spec.to_string(),
+                n.to_string(),
+                threads.to_string(),
+                cores.to_string(),
+                format!("{:.1}", best * 1e3),
+                format!("{speedup:.2}x"),
+                if identical { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+    }
+    ExperimentResult {
+        id: "e14",
+        title: "Parallel construction engine: thread scaling, bit-identical output",
+        claim: "per-seed explorations are independent, so construction parallelizes across \
+                worker threads with a deterministic merge: build(threads=k) is byte-identical \
+                to build(threads=1) and wall-clock falls toward 1/min(k, cores) \
+                (cf. Dinitz–Nazari 2018 on massively parallel sketch construction)",
+        table,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -882,6 +969,22 @@ mod tests {
                 load_ms < build_ms,
                 "cold start must beat rebuild even at toy sizes: {row:?}"
             );
+        }
+    }
+
+    #[test]
+    fn e14_quick_is_bit_identical_across_thread_counts() {
+        let result = run_experiment("e14", true).unwrap();
+        assert_eq!(result.id, "e14");
+        // 4 scheme families × 3 thread counts.
+        assert_eq!(result.table.len(), 12);
+        for row in &result.table.rows {
+            assert_eq!(
+                row[6], "yes",
+                "snapshots must be byte-identical across thread counts: {row:?}"
+            );
+            let ms: f64 = row[4].parse().unwrap();
+            assert!(ms >= 0.0);
         }
     }
 

@@ -43,6 +43,33 @@ pub fn arg_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) 
         .unwrap_or(default)
 }
 
+/// Like [`arg_parse`], but a flag that is *present* with an unparsable
+/// value is a usage error (exit code 2) instead of a silent fallback — an
+/// absent flag still yields `default`.
+pub fn arg_parse_or_exit<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match arg_value(args, name) {
+        None => default,
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("--{name} {raw}: expected a {}", std::any::type_name::<T>());
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Parse the `--engine parallel|congest` flag shared by the
+/// `dsketch-store` and `dsketch-serve` binaries (default: the parallel
+/// production engine); an unknown engine name is a usage error (exit 2).
+pub fn arg_engine(args: &[String]) -> dsketch::BuildEngine {
+    match arg_value(args, "engine").as_deref() {
+        None | Some("parallel") => dsketch::BuildEngine::Parallel,
+        Some("congest") => dsketch::BuildEngine::Congest,
+        Some(other) => {
+            eprintln!("--engine {other}: unknown (known: parallel, congest)");
+            std::process::exit(2);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,7 +19,7 @@
 //!    `w ∈ B(u)`, Section 3.2.)
 
 use crate::hierarchy::Hierarchy;
-use crate::sketch::{DistKey, Sketch, SketchSet};
+use crate::sketch::{DistKey, SketchSet};
 use netgraph::{add_dist, Distance, Graph, NodeId, INFINITY};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -40,49 +40,17 @@ pub struct CentralizedTz {
 impl CentralizedTz {
     /// Build Thorup–Zwick labels for every node of `graph` using the sampled
     /// `hierarchy`.
+    ///
+    /// This is the single-threaded instance of the shared direct engine
+    /// ([`crate::build::thorup_zwick`]): the baseline the distributed
+    /// construction is compared against and the parallel production build
+    /// path are the same code, so they can never drift apart.
     pub fn build(graph: &Graph, hierarchy: &Hierarchy) -> Self {
-        let n = graph.num_nodes();
-        let k = hierarchy.k();
-
-        // Step 1: pivot keys for every level, plus the empty level A_k.
-        let mut pivot_keys: Vec<Vec<DistKey>> = Vec::with_capacity(k + 1);
-        for i in 0..k {
-            let members = hierarchy.level_members(i);
-            pivot_keys.push(lexicographic_multi_source(graph, &members));
-        }
-        pivot_keys.push(vec![DistKey::INFINITE; n]);
-
-        // Step 2: clusters / bunches.
-        let mut sketches: Vec<Sketch> = (0..n)
-            .map(|u| Sketch::new(NodeId::from_index(u), k))
-            .collect();
-        for (u, sketch) in sketches.iter_mut().enumerate() {
-            for (i, keys) in pivot_keys.iter().take(k).enumerate() {
-                let key = keys[u];
-                if !key.is_infinite() {
-                    sketch.set_pivot(i, key.node, key.distance);
-                }
-            }
-        }
-
-        let mut total_cluster_size = 0usize;
-        let mut scratch = ClusterScratch::new(n);
-        for i in 0..k {
-            let sources = hierarchy.exact_level_members(i);
-            let next_keys = &pivot_keys[i + 1];
-            for &w in &sources {
-                let cluster = grow_cluster(graph, w, next_keys, &mut scratch);
-                total_cluster_size += cluster.len();
-                for (u, dist) in cluster {
-                    sketches[u.index()].insert_bunch(w, i as u32, dist);
-                }
-            }
-        }
-
+        let built = crate::build::thorup_zwick(graph, hierarchy, 1);
         CentralizedTz {
-            sketches: SketchSet::new(sketches),
-            pivot_keys,
-            total_cluster_size,
+            sketches: built.sketches,
+            pivot_keys: built.pivot_keys,
+            total_cluster_size: built.total_cluster_size,
         }
     }
 
@@ -132,14 +100,15 @@ pub fn lexicographic_multi_source(graph: &Graph, sources: &[NodeId]) -> Vec<Dist
 }
 
 /// Reusable buffers for cluster growth, so building all clusters does not
-/// allocate `O(n)` memory per source.
-struct ClusterScratch {
+/// allocate `O(n)` memory per source.  The parallel engine gives each worker
+/// thread one of these ([`crate::parallel::parallel_map_with`]).
+pub(crate) struct ClusterScratch {
     dist: Vec<Distance>,
     touched: Vec<usize>,
 }
 
 impl ClusterScratch {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         ClusterScratch {
             dist: vec![INFINITY; n],
             touched: Vec::new(),
@@ -157,7 +126,7 @@ impl ClusterScratch {
 /// Grow the cluster `C(w)`: a truncated Dijkstra from `w` that only expands
 /// through vertices `u` with `(d(w, u), w) < next_keys[u]`.  Returns the
 /// members with their exact distances from `w`.
-fn grow_cluster(
+pub(crate) fn grow_cluster(
     graph: &Graph,
     w: NodeId,
     next_keys: &[DistKey],

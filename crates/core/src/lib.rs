@@ -96,6 +96,13 @@
 //! * [`distributed`] — the paper's contribution: the phased modified
 //!   Bellman–Ford construction (Algorithm 2), the known-`S` synchronizer of
 //!   Section 3.2 and the ECHO/COMPLETE termination detection of Section 3.3.
+//! * [`build`] — the direct **parallel** construction engine: the same
+//!   sketches as the CONGEST simulation, computed by batching the
+//!   independent per-seed explorations across worker threads
+//!   (`SchemeConfig::engine = BuildEngine::Parallel`, `threads` knob);
+//!   bit-identical output for every thread count.
+//! * [`parallel`] — the dependency-free worker pool under [`build`]
+//!   (deterministic-merge `parallel_map`, per-phase wall-clock timings).
 //! * [`query`] — distance estimation from two sketches (Lemma 3.2 and the
 //!   slack/degrading variants).
 //! * [`slack`] — Section 4: ε-density nets, 3-stretch slack sketches,
@@ -143,6 +150,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod build;
 pub mod centralized;
 pub mod codec;
 pub mod distributed;
@@ -150,6 +158,7 @@ pub mod error;
 pub mod eval;
 pub mod hierarchy;
 pub mod oracle;
+pub mod parallel;
 pub mod query;
 pub mod scheme;
 pub mod sketch;
@@ -167,10 +176,12 @@ pub mod prelude {
     };
     pub use crate::hierarchy::{Hierarchy, TzParams};
     pub use crate::oracle::DistanceOracle;
+    pub use crate::parallel::{BuildTimings, PhaseTiming};
     pub use crate::query::{estimate_distance, estimate_distance_slack};
     pub use crate::scheme::{
-        BuildOutcome, CdgScheme, DegradingScheme, DynBuildOutcome, SchemeConfig, SchemeSpec,
-        SketchBuilder, SketchScheme, ThorupZwickScheme, ThreeStretchScheme, TzSketchSet,
+        BuildEngine, BuildOutcome, CdgScheme, DegradingScheme, DynBuildOutcome, SchemeConfig,
+        SchemeSpec, SketchBuilder, SketchScheme, ThorupZwickScheme, ThreeStretchScheme,
+        TzSketchSet,
     };
     pub use crate::sketch::{Sketch, SketchSet};
     pub use crate::slack::cdg::{CdgParams, CdgSketchSet, DistributedCdg};

@@ -11,6 +11,8 @@
 //! and is completely scheme-agnostic, so a new sketch family (or a remote /
 //! sharded backend) only has to implement this trait to plug in.
 
+#![deny(missing_docs)]
+
 use crate::error::SketchError;
 use crate::query::estimate_distance;
 use crate::sketch::SketchSet;

@@ -1,0 +1,280 @@
+//! A small, dependency-free worker pool for batching independent graph
+//! explorations across threads — the engine room of the parallel
+//! construction path ([`crate::build`]).
+//!
+//! Every sketch construction in this workspace decomposes into *independent
+//! per-seed explorations* over one shared, read-only [`netgraph::Graph`]:
+//! one truncated Dijkstra per cluster source in Thorup–Zwick, one
+//! exploration per density-net node in the 3-stretch scheme, one restricted
+//! hierarchy per CDG layer.  Those explorations never observe each other, so
+//! they can be executed on any number of worker threads — as long as the
+//! *merge* of their results is deterministic.
+//!
+//! The contract of this module is exactly that determinism guarantee:
+//!
+//! * [`parallel_map`] executes `f` over a work list on `threads` workers and
+//!   returns the results **in input order**, regardless of which worker
+//!   computed which item or in what order items finished.  Work is handed
+//!   out through a single atomic counter (work stealing), so stragglers are
+//!   balanced automatically; each worker accumulates `(index, result)` pairs
+//!   privately and the results are re-assembled by index after the scoped
+//!   threads join.
+//! * With `threads == 1` no threads are spawned at all — the call is a plain
+//!   sequential loop.  Because the output only depends on the input order,
+//!   `parallel_map(k, …)` is **bit-identical** to `parallel_map(1, …)` for
+//!   every `k` (the property the `parallel_build` integration suite checks
+//!   end-to-end, down to the serialized `DSK1` snapshot bytes).
+//!
+//! Threads are plain `std::thread::scope` workers: no unsafe code, no shared
+//! mutable state beyond the atomic work counter, no dependencies.
+//!
+//! ```
+//! use dsketch::parallel::parallel_map;
+//!
+//! let squares = parallel_map(4, &[1u64, 2, 3, 4, 5], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]); // input order, always
+//! ```
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// The number of hardware threads available to this process (at least 1).
+///
+/// This is what a `threads` knob of `0` ("use all available parallelism")
+/// resolves to — see [`resolve_threads`].
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Resolve a user-facing `threads` knob: `0` means "all available
+/// parallelism", anything else is used as given.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        available_parallelism()
+    } else {
+        threads
+    }
+}
+
+/// Map `f` over `items` on up to `threads` worker threads, returning the
+/// results in input order.
+///
+/// `f` receives the item's index and a reference to the item.  See the
+/// [module docs](self) for the determinism contract; `threads` is resolved
+/// with [`resolve_threads`] and clamped to the number of items.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_with(threads, items, || (), |(), index, item| f(index, item))
+}
+
+/// Like [`parallel_map`], but each worker thread carries private scratch
+/// state created by `init` — reusable buffers that would otherwise be
+/// re-allocated per item (e.g. the distance array of a truncated Dijkstra).
+///
+/// The scratch state must never influence results (it is per-*worker*, and
+/// which worker runs which item is scheduling-dependent); it exists purely
+/// to amortize allocations.
+pub fn parallel_map_with<S, T, R, I, F>(threads: usize, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = resolve_threads(threads).clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(index, item)| f(&mut state, index, item))
+            .collect();
+    }
+
+    // Work stealing over one atomic cursor: each worker claims the next
+    // unclaimed index until the list is drained, keeping all workers busy
+    // even when per-item costs vary wildly (cluster sizes do).
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut out = Vec::new();
+                    loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= n {
+                            break;
+                        }
+                        out.push((index, f(&mut state, index, &items[index])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
+    });
+
+    // Deterministic merge: place every result back at its input index.
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for bucket in buckets {
+        for (index, result) in bucket {
+            debug_assert!(slots[index].is_none(), "index {index} computed twice");
+            slots[index] = Some(result);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index computed exactly once"))
+        .collect()
+}
+
+/// Wall-clock timing of one batched phase of a parallel build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTiming {
+    /// Phase label, e.g. `"tz/clusters"` or `"3stretch/net-explorations"`.
+    pub phase: String,
+    /// Number of independent explorations batched in this phase.
+    pub items: usize,
+    /// Wall-clock seconds the phase took.
+    pub seconds: f64,
+}
+
+/// Per-phase wall-clock timings of one parallel build, surfaced in
+/// [`crate::scheme::BuildOutcome::timings`].
+///
+/// The CONGEST-simulated engine reports its cost in rounds/messages/words
+/// ([`congest_sim::RunStats`]); the parallel engine's currency is wall-clock
+/// time per batched phase, which is what experiment `e14` and the
+/// `parallel_build` criterion bench report.  Timings are measurement
+/// metadata: they vary run to run and are **not** part of the persisted
+/// snapshot (snapshot bytes stay bit-identical across thread counts).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BuildTimings {
+    /// Resolved worker-thread count the build ran with (`0` when the build
+    /// went through the CONGEST simulator and recorded no phase timings).
+    pub threads: usize,
+    /// One entry per batched phase, in execution order.
+    pub phases: Vec<PhaseTiming>,
+}
+
+impl BuildTimings {
+    /// Timings for a build about to run on `threads` resolved workers.
+    pub fn new(threads: usize) -> Self {
+        BuildTimings {
+            threads,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Record a phase that started at `started` and just finished.
+    pub fn record(&mut self, phase: &str, items: usize, started: Instant) {
+        self.phases.push(PhaseTiming {
+            phase: phase.to_string(),
+            items,
+            seconds: started.elapsed().as_secs_f64(),
+        });
+    }
+
+    /// Append another build's phases under a `prefix/` label (used by the
+    /// layered gracefully-degrading build to keep per-layer phases apart).
+    pub fn absorb_prefixed(&mut self, prefix: &str, other: BuildTimings) {
+        for mut timing in other.phases {
+            timing.phase = format!("{prefix}{}", timing.phase);
+            self.phases.push(timing);
+        }
+    }
+
+    /// Total wall-clock seconds across all recorded phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.phases.iter().map(|p| p.seconds).sum()
+    }
+
+    /// True if this build recorded phase timings (i.e. it ran on the
+    /// parallel engine).
+    pub fn is_recorded(&self) -> bool {
+        !self.phases.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order_for_every_thread_count() {
+        let items: Vec<usize> = (0..257).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 4, 8, 16] {
+            let got = parallel_map(threads, &items, |index, &x| {
+                assert_eq!(index, x);
+                x * 3 + 1
+            });
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        assert_eq!(resolve_threads(0), available_parallelism());
+        assert_eq!(resolve_threads(3), 3);
+        assert!(available_parallelism() >= 1);
+        // threads = 0 must still work end to end.
+        let got = parallel_map(0, &[10u32, 20, 30], |_, &x| x + 1);
+        assert_eq!(got, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(parallel_map(8, &empty, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(8, &[7u8], |_, &x| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn worker_state_is_reused_not_shared() {
+        // Each worker's scratch counts the items *it* processed; the sum over
+        // workers must cover the whole list exactly once.
+        let items: Vec<u32> = (0..100).collect();
+        let processed = AtomicUsize::new(0);
+        let results = parallel_map_with(
+            4,
+            &items,
+            || 0usize,
+            |count, _, &x| {
+                *count += 1;
+                processed.fetch_add(1, Ordering::Relaxed);
+                x
+            },
+        );
+        assert_eq!(results, items);
+        assert_eq!(processed.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn timings_accumulate_and_prefix() {
+        let mut t = BuildTimings::new(4);
+        assert!(!t.is_recorded());
+        t.record("pivots", 3, Instant::now());
+        let mut layered = BuildTimings::new(4);
+        layered.record("clusters", 9, Instant::now());
+        t.absorb_prefixed("layer0/", layered);
+        assert!(t.is_recorded());
+        assert_eq!(t.phases.len(), 2);
+        assert_eq!(t.phases[1].phase, "layer0/clusters");
+        assert_eq!(t.phases[1].items, 9);
+        assert!(t.total_seconds() >= 0.0);
+    }
+}

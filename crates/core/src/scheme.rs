@@ -32,10 +32,13 @@
 //! }
 //! ```
 
+#![deny(missing_docs)]
+
 use crate::distributed::{self, SyncMode};
 use crate::error::SketchError;
 use crate::hierarchy::{Hierarchy, TzParams};
 use crate::oracle::{check_nodes, DistanceOracle};
+use crate::parallel::BuildTimings;
 use crate::query::estimate_distance;
 use crate::sketch::SketchSet;
 use crate::slack::cdg::{self, CdgParams, CdgSketchSet};
@@ -44,22 +47,61 @@ use crate::slack::three_stretch::{self, ThreeStretchSketchSet};
 use congest_sim::{CongestConfig, RunStats};
 use netgraph::{Distance, Graph, NodeId};
 
-/// The construction parameters shared by every scheme: randomness, phase
-/// synchronization, CONGEST engine settings and the round safety valve.
+/// Which construction engine a build runs on.
+///
+/// Both engines produce **identical sketches** for the same
+/// [`SchemeConfig::seed`] (experiment E8 / the `parallel_build` suite pin
+/// this); they differ in what they cost and what they measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BuildEngine {
+    /// The paper-faithful CONGEST simulation ([`crate::distributed`]):
+    /// every message crosses a simulated edge, and
+    /// [`BuildOutcome::stats`] reports the rounds/messages/words the
+    /// theorems bound.  The default — experiments and conformance tests
+    /// measure this engine.
+    #[default]
+    Congest,
+    /// The direct parallel engine ([`crate::build`]): the independent
+    /// per-seed explorations are batched across
+    /// [`SchemeConfig::threads`] worker threads and merged
+    /// deterministically.  Orders of magnitude faster wall-clock — the
+    /// production path behind `build → save → serve` — but it does not
+    /// simulate the network, so [`BuildOutcome::stats`] is empty and
+    /// [`BuildOutcome::timings`] carries the per-phase wall-clock cost
+    /// instead.
+    Parallel,
+}
+
+/// The construction parameters shared by every scheme: randomness, engine
+/// choice, phase synchronization, CONGEST engine settings and the round
+/// safety valve.
 #[derive(Debug, Clone, Copy)]
 pub struct SchemeConfig {
     /// Seed for all sampling (hierarchies, density nets).
     pub seed: u64,
+    /// Which engine runs the construction (CONGEST simulation vs the
+    /// direct parallel engine).  The seed-derived sampling is shared, so
+    /// both engines build identical sketches.
+    pub engine: BuildEngine,
+    /// Worker threads for the [`BuildEngine::Parallel`] engine; `0` (the
+    /// default) means "all available parallelism".  The output never
+    /// depends on this value — `threads = k` is bit-identical to
+    /// `threads = 1`.
+    pub threads: usize,
     /// How phase boundaries are detected (Section 3.2 vs Section 3.3).
     ///
     /// Only meaningful for the phased constructions (Thorup–Zwick, CDG,
-    /// degrading).  [`ThreeStretchScheme`] is a single k-source flood with
-    /// no phase boundaries to detect, so it ignores this field (see its
-    /// `build` docs).
+    /// degrading) on the [`BuildEngine::Congest`] engine.
+    /// [`ThreeStretchScheme`] is a single k-source flood with no phase
+    /// boundaries to detect, so it ignores this field (see its `build`
+    /// docs), and the parallel engine has no phases to synchronize.
     pub sync: SyncMode,
-    /// CONGEST engine configuration (threads, bandwidth budget).
+    /// CONGEST engine configuration (compute-step threads, bandwidth
+    /// budget).  Only used by [`BuildEngine::Congest`].
     pub congest: CongestConfig,
-    /// Safety valve: abort if a single run exceeds this many rounds.
+    /// Safety valve: abort if a single simulated run exceeds this many
+    /// rounds.  Only used by [`BuildEngine::Congest`] (the parallel engine
+    /// executes no rounds).
     pub max_rounds: u64,
 }
 
@@ -67,6 +109,8 @@ impl Default for SchemeConfig {
     fn default() -> Self {
         SchemeConfig {
             seed: 0,
+            engine: BuildEngine::Congest,
+            threads: 0,
             sync: SyncMode::GlobalOracle,
             congest: CongestConfig::default(),
             max_rounds: 50_000_000,
@@ -78,6 +122,25 @@ impl SchemeConfig {
     /// Replace the sampling seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Select the construction engine.
+    pub fn with_engine(mut self, engine: BuildEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Use the direct parallel engine ([`BuildEngine::Parallel`]).
+    pub fn with_parallel_build(mut self) -> Self {
+        self.engine = BuildEngine::Parallel;
+        self
+    }
+
+    /// Set the worker-thread count for the parallel engine (`0` = all
+    /// available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -130,6 +193,11 @@ pub struct BuildOutcome<O> {
     pub phase_stats: Vec<RunStats>,
     /// Cost of the BFS-tree preamble (termination-detection mode only).
     pub tree_stats: Option<RunStats>,
+    /// Per-phase wall-clock timings when the build ran on the
+    /// [`BuildEngine::Parallel`] engine ([`BuildTimings::is_recorded`] is
+    /// `false` for simulated builds, whose cost currency is
+    /// [`BuildOutcome::stats`] instead).
+    pub timings: BuildTimings,
 }
 
 impl<O: DistanceOracle + 'static> BuildOutcome<O> {
@@ -141,6 +209,7 @@ impl<O: DistanceOracle + 'static> BuildOutcome<O> {
             stats: self.stats,
             phase_stats: self.phase_stats,
             tree_stats: self.tree_stats,
+            timings: self.timings,
         }
     }
 }
@@ -251,6 +320,19 @@ impl ThorupZwickScheme {
         hierarchy: Hierarchy,
         config: &SchemeConfig,
     ) -> Result<BuildOutcome<TzSketchSet>, SketchError> {
+        if config.engine == BuildEngine::Parallel {
+            let built = crate::build::thorup_zwick(graph, &hierarchy, config.threads);
+            return Ok(BuildOutcome {
+                sketches: TzSketchSet {
+                    sketches: built.sketches,
+                    hierarchy,
+                },
+                stats: RunStats::default(),
+                phase_stats: Vec::new(),
+                tree_stats: None,
+                timings: built.timings,
+            });
+        }
         let raw = distributed::build_with_hierarchy(graph, hierarchy, config.run_config())?;
         Ok(BuildOutcome {
             sketches: TzSketchSet {
@@ -260,6 +342,7 @@ impl ThorupZwickScheme {
             stats: raw.stats,
             phase_stats: raw.phase_stats,
             tree_stats: raw.tree_stats,
+            timings: BuildTimings::default(),
         })
     }
 }
@@ -322,6 +405,17 @@ impl SketchScheme for ThreeStretchScheme {
         graph: &Graph,
         config: &SchemeConfig,
     ) -> Result<BuildOutcome<ThreeStretchSketchSet>, SketchError> {
+        if config.engine == BuildEngine::Parallel {
+            let (set, timings) =
+                three_stretch::build_direct(graph, self.eps, config.seed, config.threads)?;
+            return Ok(BuildOutcome {
+                sketches: set,
+                stats: RunStats::default(),
+                phase_stats: Vec::new(),
+                tree_stats: None,
+                timings,
+            });
+        }
         let set = three_stretch::build(
             graph,
             self.eps,
@@ -335,6 +429,7 @@ impl SketchScheme for ThreeStretchScheme {
             stats,
             phase_stats: Vec::new(),
             tree_stats: None,
+            timings: BuildTimings::default(),
         })
     }
 }
@@ -373,6 +468,16 @@ impl SketchScheme for CdgScheme {
         config: &SchemeConfig,
     ) -> Result<BuildOutcome<CdgSketchSet>, SketchError> {
         let params = CdgParams::new(self.eps, self.k).with_seed(config.seed);
+        if config.engine == BuildEngine::Parallel {
+            let (set, timings) = cdg::build_direct(graph, params, config.threads)?;
+            return Ok(BuildOutcome {
+                sketches: set,
+                stats: RunStats::default(),
+                phase_stats: Vec::new(),
+                tree_stats: None,
+                timings,
+            });
+        }
         let set = cdg::build(graph, params, config.run_config())?;
         let stats = set.stats.clone();
         Ok(BuildOutcome {
@@ -380,6 +485,7 @@ impl SketchScheme for CdgScheme {
             stats,
             phase_stats: Vec::new(),
             tree_stats: None,
+            timings: BuildTimings::default(),
         })
     }
 }
@@ -432,6 +538,16 @@ impl SketchScheme for DegradingScheme {
         let mut params = DegradingParams::new(config.seed);
         params.max_layers = self.max_layers;
         params.max_k = self.max_k.map(|k| k.max(1));
+        if config.engine == BuildEngine::Parallel {
+            let (set, timings) = degrading::build_direct(graph, params, config.threads)?;
+            return Ok(BuildOutcome {
+                sketches: set,
+                stats: RunStats::default(),
+                phase_stats: Vec::new(),
+                tree_stats: None,
+                timings,
+            });
+        }
         let set = degrading::build(graph, params, config.run_config())?;
         let stats = set.stats.clone();
         let phase_stats = set.layers.iter().map(|l| l.stats.clone()).collect();
@@ -440,6 +556,7 @@ impl SketchScheme for DegradingScheme {
             stats,
             phase_stats,
             tree_stats: None,
+            timings: BuildTimings::default(),
         })
     }
 }
@@ -537,7 +654,8 @@ impl SchemeSpec {
     ///   `degrading:k=4`, `degrading:layers=3`, `degrading:k=4,layers=3`
     ///
     /// Unrecognized scheme names and malformed parameters are rejected with
-    /// [`SketchError::InvalidParameters`]; every spec's [`Display`] form
+    /// [`SketchError::InvalidParameters`] whose message names the offending
+    /// token and lists the valid scheme forms; every spec's [`Display`] form
     /// parses back to the same spec.
     ///
     /// ```
@@ -548,7 +666,11 @@ impl SchemeSpec {
     ///     SchemeSpec::parse("cdg:0.2,2").unwrap(),
     ///     SchemeSpec::cdg(0.2, 2)
     /// );
-    /// assert!(SchemeSpec::parse("unknown:1").is_err());
+    ///
+    /// // Errors name the culprit and list what would have been accepted.
+    /// let err = SchemeSpec::parse("unknown:1").unwrap_err().to_string();
+    /// assert!(err.contains("unknown scheme 'unknown'"));
+    /// assert!(err.contains("valid schemes"));
     ///
     /// // Display round-trips through parse.
     /// let spec = SchemeSpec::three_stretch(0.25);
@@ -557,25 +679,54 @@ impl SchemeSpec {
     ///
     /// [`Display`]: std::fmt::Display
     pub fn parse(text: &str) -> Result<Self, SketchError> {
-        let invalid = || SketchError::InvalidParameters(format!("unrecognized scheme '{text}'"));
+        /// The forms `parse` accepts, quoted by every parse error.
+        const VALID: &str = "tz:<k> (alias thorup-zwick:<k>), 3stretch:<eps> (alias \
+                             three-stretch:<eps>), cdg:<eps>,<k>, \
+                             degrading[:<k> | k=<k>,layers=<l>]";
+        let invalid = |what: String| {
+            SketchError::InvalidParameters(format!("{what} (valid schemes: {VALID})"))
+        };
         let (name, args) = match text.split_once(':') {
             Some((n, a)) => (n, Some(a)),
             None => (text, None),
         };
         match name {
             "tz" | "thorup-zwick" => {
-                let k = args.ok_or_else(invalid)?.parse().map_err(|_| invalid())?;
+                let raw = args.ok_or_else(|| {
+                    invalid(format!(
+                        "scheme '{name}' is missing its level count, e.g. {name}:3"
+                    ))
+                })?;
+                let k = raw.trim().parse().map_err(|_| {
+                    invalid(format!("invalid level count '{raw}' for scheme '{name}': expected a positive integer like {name}:3"))
+                })?;
                 Ok(SchemeSpec::thorup_zwick(k))
             }
             "3stretch" | "three-stretch" => {
-                let eps = args.ok_or_else(invalid)?.parse().map_err(|_| invalid())?;
+                let raw = args.ok_or_else(|| {
+                    invalid(format!(
+                        "scheme '{name}' is missing its slack parameter, e.g. {name}:0.25"
+                    ))
+                })?;
+                let eps = raw.trim().parse().map_err(|_| {
+                    invalid(format!("invalid slack '{raw}' for scheme '{name}': expected a number in (0, 1] like {name}:0.25"))
+                })?;
                 Ok(SchemeSpec::three_stretch(eps))
             }
             "cdg" => {
-                let (eps, k) = args.and_then(|a| a.split_once(',')).ok_or_else(invalid)?;
+                let raw = args.ok_or_else(|| {
+                    invalid("scheme 'cdg' is missing its parameters, e.g. cdg:0.2,2".to_string())
+                })?;
+                let (eps, k) = raw.split_once(',').ok_or_else(|| {
+                    invalid(format!("scheme 'cdg' takes two comma-separated parameters, got '{raw}': expected cdg:<eps>,<k> like cdg:0.2,2"))
+                })?;
                 Ok(SchemeSpec::cdg(
-                    eps.trim().parse().map_err(|_| invalid())?,
-                    k.trim().parse().map_err(|_| invalid())?,
+                    eps.trim().parse().map_err(|_| {
+                        invalid(format!("invalid slack '{}' for scheme 'cdg': expected a number in (0, 1]", eps.trim()))
+                    })?,
+                    k.trim().parse().map_err(|_| {
+                        invalid(format!("invalid level count '{}' for scheme 'cdg': expected a positive integer", k.trim()))
+                    })?,
                 ))
             }
             "degrading" => {
@@ -583,19 +734,35 @@ impl SchemeSpec {
                 if let Some(a) = args {
                     for part in a.split(',') {
                         match part.trim().split_once('=') {
-                            Some(("k", v)) => max_k = Some(v.parse().map_err(|_| invalid())?),
+                            Some(("k", v)) => {
+                                max_k = Some(v.parse().map_err(|_| {
+                                    invalid(format!("invalid k cap '{v}' for scheme 'degrading': expected a positive integer"))
+                                })?)
+                            }
                             Some(("layers", v)) => {
-                                max_layers = Some(v.parse().map_err(|_| invalid())?)
+                                max_layers = Some(v.parse().map_err(|_| {
+                                    invalid(format!("invalid layer cap '{v}' for scheme 'degrading': expected a positive integer"))
+                                })?)
                             }
                             // Bare integer: the `degrading:4` shorthand for k.
-                            None => max_k = Some(part.trim().parse().map_err(|_| invalid())?),
-                            Some(_) => return Err(invalid()),
+                            None => {
+                                max_k = Some(part.trim().parse().map_err(|_| {
+                                    invalid(format!("invalid option '{}' for scheme 'degrading': expected k=<k>, layers=<l>, or a bare integer cap for k", part.trim()))
+                                })?)
+                            }
+                            Some((key, _)) => {
+                                return Err(invalid(format!("unknown option '{key}' for scheme 'degrading': expected k=<k> or layers=<l>")))
+                            }
                         }
                     }
                 }
                 Ok(SchemeSpec::Degrading { max_layers, max_k })
             }
-            _ => Err(invalid()),
+            _ => Err(invalid(if name.is_empty() {
+                "empty scheme name".to_string()
+            } else {
+                format!("unknown scheme '{name}'")
+            })),
         }
     }
 
@@ -705,6 +872,25 @@ impl SketchBuilder {
     /// Replace the sampling seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.config.seed = seed;
+        self
+    }
+
+    /// Select the construction engine.
+    pub fn engine(mut self, engine: BuildEngine) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Use the direct parallel engine ([`BuildEngine::Parallel`]).
+    pub fn parallel(mut self) -> Self {
+        self.config.engine = BuildEngine::Parallel;
+        self
+    }
+
+    /// Set the worker-thread count for the parallel engine (`0` = all
+    /// available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
         self
     }
 
@@ -900,6 +1086,95 @@ mod tests {
                 "round-trip failed for {spec}"
             );
         }
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_token_and_list_valid_schemes() {
+        // (input, fragment that must identify the culprit)
+        let cases = [
+            ("nope:1", "unknown scheme 'nope'"),
+            ("", "empty scheme name"),
+            ("tz", "scheme 'tz' is missing its level count"),
+            ("tz:x", "invalid level count 'x' for scheme 'tz'"),
+            ("thorup-zwick:2.5", "invalid level count '2.5'"),
+            ("3stretch", "scheme '3stretch' is missing its slack"),
+            (
+                "3stretch:huge",
+                "invalid slack 'huge' for scheme '3stretch'",
+            ),
+            ("cdg", "scheme 'cdg' is missing its parameters"),
+            ("cdg:0.2", "got '0.2'"),
+            ("cdg:zero,2", "invalid slack 'zero' for scheme 'cdg'"),
+            ("cdg:0.2,two", "invalid level count 'two' for scheme 'cdg'"),
+            ("degrading:q=1", "unknown option 'q' for scheme 'degrading'"),
+            ("degrading:k=x", "invalid k cap 'x'"),
+            ("degrading:layers=x", "invalid layer cap 'x'"),
+            (
+                "degrading:1.5",
+                "invalid option '1.5' for scheme 'degrading'",
+            ),
+        ];
+        for (input, fragment) in cases {
+            let message = SchemeSpec::parse(input).unwrap_err().to_string();
+            assert!(
+                message.contains(fragment),
+                "{input:?}: message {message:?} should contain {fragment:?}"
+            );
+            assert!(
+                message.contains("valid schemes: tz:<k>"),
+                "{input:?}: message {message:?} should list the valid schemes"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_engine_builds_identical_sketches_for_every_family() {
+        let graph = small_graph();
+        for spec in SchemeSpec::all_families() {
+            let simulated = SketchBuilder::new(spec).seed(9).build(&graph).unwrap();
+            let parallel = SketchBuilder::new(spec)
+                .seed(9)
+                .parallel()
+                .threads(2)
+                .build(&graph)
+                .unwrap();
+            assert_eq!(parallel.sketches.scheme_name(), spec.name());
+            assert_eq!(parallel.stats.rounds, 0, "parallel engine runs no rounds");
+            assert!(parallel.timings.is_recorded(), "{spec}: timings missing");
+            assert!(!simulated.timings.is_recorded());
+            for u in graph.nodes() {
+                for v in graph.nodes() {
+                    assert_eq!(
+                        simulated.sketches.estimate(u, v).ok(),
+                        parallel.sketches.estimate(u, v).ok(),
+                        "{spec}: estimate mismatch at ({u}, {v})"
+                    );
+                }
+                assert_eq!(
+                    simulated.sketches.words(u),
+                    parallel.sketches.words(u),
+                    "{spec}: label size mismatch at {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_engine_thread_count_flows_through_the_builder() {
+        let graph = small_graph();
+        let builder = SketchBuilder::thorup_zwick(2)
+            .seed(5)
+            .engine(BuildEngine::Parallel)
+            .threads(3);
+        assert_eq!(builder.config().engine, BuildEngine::Parallel);
+        assert_eq!(builder.config().threads, 3);
+        let outcome = builder.build(&graph).unwrap();
+        assert_eq!(outcome.timings.threads, 3);
+        let config = SchemeConfig::default()
+            .with_parallel_build()
+            .with_threads(2);
+        assert_eq!(config.engine, BuildEngine::Parallel);
+        assert_eq!(config.threads, 2);
     }
 
     #[test]

@@ -175,6 +175,33 @@ pub(crate) fn build(
     })
 }
 
+/// The direct parallel counterpart of [`build`]: identical sampling (net +
+/// net-restricted hierarchy from the same seed), then the shared parallel
+/// Thorup–Zwick engine [`crate::build::thorup_zwick`] instead of the
+/// CONGEST simulation.  Construction engine behind
+/// [`crate::scheme::BuildEngine::Parallel`] for [`crate::scheme::CdgScheme`].
+pub(crate) fn build_direct(
+    graph: &Graph,
+    params: CdgParams,
+    threads: usize,
+) -> Result<(CdgSketchSet, crate::parallel::BuildTimings), SketchError> {
+    params.validate()?;
+    let n = graph.num_nodes();
+    let net = DensityNet::sample_nonempty(n, params.eps, params.seed)?;
+    let hierarchy = sample_net_hierarchy(n, &net, params, graph)?;
+    let built = crate::build::thorup_zwick(graph, &hierarchy, threads);
+    Ok((
+        CdgSketchSet {
+            params,
+            net,
+            hierarchy,
+            sketches: built.sketches,
+            stats: RunStats::default(),
+        },
+        built.timings,
+    ))
+}
+
 /// Builder for (ε, k)-CDG sketches (deprecated shim over
 /// [`crate::scheme::CdgScheme`]; see the
 /// [crate-level migration table](crate#migrating-from-the-deprecated-run-entry-points)).

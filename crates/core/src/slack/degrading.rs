@@ -166,6 +166,33 @@ pub(crate) fn build(
     Ok(DegradingSketchSet { layers, stats })
 }
 
+/// The direct parallel counterpart of [`build`]: the same layer schedule,
+/// each layer built by [`cdg::build_direct`] (layers share the seed
+/// derivation, so sampling is identical to the simulated path).
+/// Construction engine behind [`crate::scheme::BuildEngine::Parallel`] for
+/// [`crate::scheme::DegradingScheme`].
+pub(crate) fn build_direct(
+    graph: &Graph,
+    params: DegradingParams,
+    threads: usize,
+) -> Result<(DegradingSketchSet, crate::parallel::BuildTimings), SketchError> {
+    let n = graph.num_nodes();
+    let mut layers = Vec::new();
+    let mut timings = crate::parallel::BuildTimings::new(crate::parallel::resolve_threads(threads));
+    for (index, layer_params) in params.layers(n).into_iter().enumerate() {
+        let (layer, layer_timings) = cdg::build_direct(graph, layer_params, threads)?;
+        timings.absorb_prefixed(&format!("layer{index}/"), layer_timings);
+        layers.push(layer);
+    }
+    Ok((
+        DegradingSketchSet {
+            layers,
+            stats: RunStats::default(),
+        },
+        timings,
+    ))
+}
+
 /// Builder for gracefully degrading sketches (deprecated shim over
 /// [`crate::scheme::DegradingScheme`]; see the
 /// [crate-level migration table](crate#migrating-from-the-deprecated-run-entry-points)).

@@ -9,12 +9,15 @@
 
 use crate::error::SketchError;
 use crate::oracle::{check_nodes, DistanceOracle};
+use crate::parallel::{parallel_map, resolve_threads, BuildTimings};
 use crate::query::estimate_distance_slack;
 use crate::sketch::{Sketch, SketchSet};
 use crate::slack::density_net::DensityNet;
 use congest_sim::programs::bellman_ford::KSourceBellmanFord;
 use congest_sim::{CongestConfig, Network, RunStats};
-use netgraph::{Distance, Graph, NodeId};
+use netgraph::shortest_path::multi_source_dijkstra;
+use netgraph::{Distance, Graph, NodeId, INFINITY};
+use std::time::Instant;
 
 /// Result of the Theorem 4.3 construction.
 #[derive(Debug, Clone)]
@@ -109,6 +112,63 @@ pub(crate) fn build(
         sketches: SketchSet::new(sketches),
         stats: outcome.stats,
     })
+}
+
+/// The direct parallel counterpart of [`build`]: one exact exploration per
+/// net node (the seeds are independent, so the batch runs on the
+/// [`crate::parallel`] pool), merged into per-node sketches in net order.
+/// Produces exactly the sketches of the simulated k-source Bellman–Ford —
+/// both record, at every node, the exact distance to every reachable net
+/// node, with ties between closest net nodes broken toward the smaller id.
+/// Construction engine behind [`crate::scheme::BuildEngine::Parallel`] for
+/// [`crate::scheme::ThreeStretchScheme`].
+pub(crate) fn build_direct(
+    graph: &Graph,
+    eps: f64,
+    seed: u64,
+    threads: usize,
+) -> Result<(ThreeStretchSketchSet, BuildTimings), SketchError> {
+    let n = graph.num_nodes();
+    let net = DensityNet::sample_nonempty(n, eps, seed)?;
+    let mut timings = BuildTimings::new(resolve_threads(threads));
+
+    let started = Instant::now();
+    let distances: Vec<Vec<Distance>> = parallel_map(threads, net.members(), |_, &w| {
+        multi_source_dijkstra(graph, &[w]).dist
+    });
+    timings.record("3stretch/net-explorations", net.len(), started);
+
+    let started = Instant::now();
+    let sketches: Vec<Sketch> = (0..n)
+        .map(|ui| {
+            let mut sketch = Sketch::new(NodeId::from_index(ui), 1);
+            let mut best: Option<(NodeId, Distance)> = None;
+            for (wi, &w) in net.members().iter().enumerate() {
+                let dist = distances[wi][ui];
+                if dist == INFINITY {
+                    continue;
+                }
+                sketch.insert_bunch(w, 0, dist);
+                if best.is_none_or(|(_, d)| dist < d) {
+                    best = Some((w, dist));
+                }
+            }
+            if let Some((node, dist)) = best {
+                sketch.set_pivot(0, node, dist);
+            }
+            sketch
+        })
+        .collect();
+    timings.record("3stretch/merge", n, started);
+
+    Ok((
+        ThreeStretchSketchSet {
+            net,
+            sketches: SketchSet::new(sketches),
+            stats: RunStats::default(),
+        },
+        timings,
+    ))
 }
 
 /// Builder for Theorem 4.3 sketches (deprecated shim over

@@ -208,9 +208,14 @@ pub fn load_oracle_for_graph<P: AsRef<Path>>(
     Ok(contents.into_oracle())
 }
 
-/// Run the distributed construction for `spec` on `graph`, keeping the
-/// family-typed result (the build half of [`build_and_save`], exposed so
-/// callers can time or stage the two halves separately).
+/// Run the construction for `spec` on `graph`, keeping the family-typed
+/// result (the build half of [`build_and_save`], exposed so callers can
+/// time or stage the two halves separately).
+///
+/// The engine comes from [`SchemeConfig::engine`]: the CONGEST simulation
+/// (default — records round/message stats) or the direct parallel engine
+/// (`config.with_parallel_build().with_threads(n)` — the fast production
+/// path, whose snapshot bytes are bit-identical for every thread count).
 pub fn build_stored(
     graph: &Graph,
     spec: SchemeSpec,
@@ -246,9 +251,10 @@ pub fn build_stored(
     })
 }
 
-/// Run the distributed construction for `spec` on `graph` and persist the
-/// result at `path` in one step.  Returns the saved contents and the number
-/// of bytes written.
+/// Run the construction for `spec` on `graph` (engine and thread count come
+/// from `config` — see [`build_stored`]) and persist the result at `path`
+/// in one step.  Returns the saved contents and the number of bytes
+/// written.
 pub fn build_and_save<P: AsRef<Path>>(
     graph: &Graph,
     spec: SchemeSpec,
@@ -357,6 +363,37 @@ mod tests {
             );
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parallel_engine_snapshots_answer_like_simulated_ones() {
+        let graph = graph();
+        for spec in SchemeSpec::all_families() {
+            let seed = 11;
+            let simulated =
+                build_stored(&graph, spec, &SchemeConfig::default().with_seed(seed)).unwrap();
+            let parallel = build_stored(
+                &graph,
+                spec,
+                &SchemeConfig::default()
+                    .with_seed(seed)
+                    .with_parallel_build()
+                    .with_threads(2),
+            )
+            .unwrap();
+            let (a, b) = (
+                simulated.sketches.as_oracle(),
+                parallel.sketches.as_oracle(),
+            );
+            for u in 0..48u32 {
+                let v = NodeId((u * 7 + 3) % 48);
+                let u = NodeId(u);
+                assert_eq!(a.estimate(u, v).ok(), b.estimate(u, v).ok(), "{spec}");
+                assert_eq!(a.words(u), b.words(u), "{spec}");
+            }
+            // The parallel engine records no simulated rounds.
+            assert_eq!(parallel.build_stats.as_ref().unwrap().rounds, 0);
+        }
     }
 
     #[test]

@@ -153,8 +153,18 @@ impl<R: Read> SnapshotReader<R> {
             });
         }
         let header_len = u32::from_le_bytes(prelude[8..12].try_into().expect("4 bytes")) as usize;
-        let mut block = vec![0u8; header_len];
-        read_exact(&mut self.inner, &mut block, "header")?;
+        // Same streaming discipline as the payload below: never allocate
+        // the untrusted declared length up front.  A crafted prelude
+        // claiming a ~4 GiB header costs only as much memory as the stream
+        // actually contains and fails as Truncated, not as an OOM attempt.
+        let mut block = Vec::new();
+        self.inner
+            .by_ref()
+            .take(header_len as u64)
+            .read_to_end(&mut block)?;
+        if block.len() < header_len {
+            return Err(StoreError::Truncated { context: "header" });
+        }
         let header = Header::from_parts(&prelude, &block)?;
 
         let payload_len = header.payload_len();
@@ -232,6 +242,21 @@ mod tests {
         let written = writer.write_to(&mut out).unwrap();
         assert_eq!(written as usize, out.len());
         out
+    }
+
+    #[test]
+    fn huge_declared_header_length_is_truncated_not_oom() {
+        // A 12-byte file that passes the magic/version checks but claims a
+        // ~4 GiB header must fail as Truncated without allocating it.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&crate::format::MAGIC);
+        bytes.extend_from_slice(&crate::format::FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = SnapshotReader::new(bytes.as_slice()).read().unwrap_err();
+        assert!(
+            matches!(err, StoreError::Truncated { context: "header" }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -21,6 +21,14 @@
 //! cargo run --release --bin quickstart -- --scheme tz:3 --save g.dsk
 //! cargo run --release --bin quickstart -- --scheme tz:3 --load g.dsk
 //! ```
+//!
+//! `--threads N` builds on the direct parallel engine instead of the
+//! CONGEST simulator (`0` = all cores; identical sketches either way,
+//! minus the simulator's round/message accounting):
+//!
+//! ```text
+//! cargo run --release --bin quickstart -- --scheme tz:3 --threads 4 --save g.dsk
+//! ```
 
 use dsketch::prelude::*;
 use dsketch_examples::{arg_parse, arg_value, print_table};
@@ -35,10 +43,14 @@ fn obtain_oracle(
     graph: &Graph,
     spec: SchemeSpec,
     seed: u64,
+    threads: Option<usize>,
     save: Option<String>,
     load: Option<String>,
 ) -> Box<dyn DistanceOracle> {
     if let Some(path) = load {
+        if save.is_some() {
+            eprintln!("note: --save is ignored when --load is given (nothing is rebuilt)");
+        }
         println!("\nloading '{spec}' sketches from snapshot {path} (no construction) ...");
         let started = std::time::Instant::now();
         let oracle = dsketch_store::load_oracle_for_graph(&path, graph).unwrap_or_else(|e| {
@@ -52,20 +64,36 @@ fn obtain_oracle(
         return oracle;
     }
 
-    println!("\nbuilding '{spec}' sketches with the distributed CONGEST construction ...");
+    let mut config = SchemeConfig::default().with_seed(seed);
+    match threads {
+        Some(t) => {
+            config = config.with_parallel_build().with_threads(t);
+            println!(
+                "\nbuilding '{spec}' sketches with the parallel engine \
+                 ({} worker threads) ...",
+                dsketch::parallel::resolve_threads(t)
+            );
+        }
+        None => {
+            println!("\nbuilding '{spec}' sketches with the distributed CONGEST construction ...")
+        }
+    }
+    let report = |stats: &RunStats| {
+        if stats.rounds > 0 {
+            println!(
+                "construction: {} rounds, {} messages, {} words on the wire",
+                stats.rounds, stats.messages, stats.words
+            );
+        }
+    };
     if let Some(path) = save {
         // Build through the store pipeline, which keeps the family-typed
         // sketches, so the same build is both saved and queried.
-        let config = SchemeConfig::default().with_seed(seed);
         let contents = dsketch_store::build_stored(graph, spec, &config).unwrap_or_else(|e| {
             eprintln!("construction failed: {e}");
             std::process::exit(2);
         });
-        let stats = contents.build_stats.clone().expect("build records stats");
-        println!(
-            "construction: {} rounds, {} messages, {} words on the wire",
-            stats.rounds, stats.messages, stats.words
-        );
+        report(&contents.build_stats.clone().expect("build records stats"));
         let bytes = dsketch_store::save_snapshot(&path, &contents).unwrap_or_else(|e| {
             eprintln!("save failed: {e}");
             std::process::exit(2);
@@ -75,15 +103,14 @@ fn obtain_oracle(
     }
     let outcome = SketchBuilder::new(spec)
         .seed(seed)
+        .engine(config.engine)
+        .threads(config.threads)
         .build(graph)
         .unwrap_or_else(|e| {
             eprintln!("construction failed: {e}");
             std::process::exit(2);
         });
-    println!(
-        "construction: {} rounds, {} messages, {} words on the wire",
-        outcome.stats.rounds, outcome.stats.messages, outcome.stats.words
-    );
+    report(&outcome.stats);
     outcome.sketches
 }
 
@@ -112,6 +139,12 @@ fn main() {
         &graph,
         spec,
         seed,
+        arg_value(&args, "threads").map(|t| {
+            t.parse().unwrap_or_else(|_| {
+                eprintln!("--threads {t}: expected a thread count (0 = all cores)");
+                std::process::exit(2);
+            })
+        }),
         arg_value(&args, "save"),
         arg_value(&args, "load"),
     );

@@ -1,0 +1,144 @@
+//! Cross-crate contract of the parallel construction engine: for every
+//! sketch family, `build(threads = k)` is **byte-identical** to
+//! `build(threads = 1)` — all the way down to the serialized `DSK1`
+//! snapshot — and the parallel engine's sketches are exactly the sketches
+//! the CONGEST simulation produces.
+//!
+//! * Property test over random graphs: the full `DSK1` snapshot bytes are
+//!   equal for `threads ∈ {1, 2, 4, 8}`, for all four families.
+//! * Cross-engine equivalence: the parallel engine and the simulator agree
+//!   label-for-label (the production path can never drift from the
+//!   paper-faithful one).
+//! * The loaded-from-disk oracle of a parallel build answers identically
+//!   to the in-memory one (the store contract holds for the new engine).
+
+use dsketch::prelude::*;
+use dsketch_store::{build_stored, load_oracle_for_graph, save_snapshot, write_snapshot};
+use netgraph::generators::{erdos_renyi, GeneratorConfig};
+use netgraph::{Graph, NodeId};
+use proptest::prelude::*;
+
+fn graph(n: usize, seed: u64) -> Graph {
+    erdos_renyi(n, 8.0 / n as f64, GeneratorConfig::uniform(seed, 1, 50))
+}
+
+fn parallel_config(seed: u64, threads: usize) -> SchemeConfig {
+    SchemeConfig::default()
+        .with_seed(seed)
+        .with_parallel_build()
+        .with_threads(threads)
+}
+
+/// Serialize a parallel build of `spec` into `DSK1` snapshot bytes.
+fn snapshot_bytes(graph: &Graph, spec: SchemeSpec, seed: u64, threads: usize) -> Vec<u8> {
+    let contents =
+        build_stored(graph, spec, &parallel_config(seed, threads)).expect("parallel build");
+    let mut bytes = Vec::new();
+    write_snapshot(&mut bytes, &contents).expect("serialize snapshot");
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole determinism guarantee: for every family, every thread
+    /// count yields the same snapshot bytes on random graphs.
+    #[test]
+    fn snapshots_are_byte_identical_for_every_thread_count(
+        (n, seed) in (24usize..64, 0u64..1_000)
+    ) {
+        let g = graph(n, seed);
+        for spec in SchemeSpec::all_families() {
+            let reference = snapshot_bytes(&g, spec, seed, 1);
+            for threads in [2usize, 4, 8] {
+                let bytes = snapshot_bytes(&g, spec, seed, threads);
+                prop_assert_eq!(
+                    &bytes,
+                    &reference,
+                    "{} snapshot differs at threads = {} (n = {}, seed = {})",
+                    spec,
+                    threads,
+                    n,
+                    seed
+                );
+            }
+        }
+    }
+}
+
+/// The parallel engine and the CONGEST simulation produce the same labels:
+/// identical estimates and identical per-node label sizes for every family.
+#[test]
+fn parallel_engine_matches_the_congest_simulation() {
+    let g = graph(128, 7);
+    for spec in SchemeSpec::all_families() {
+        let simulated = SketchBuilder::new(spec).seed(7).build(&g).unwrap();
+        let parallel = SketchBuilder::new(spec)
+            .seed(7)
+            .parallel()
+            .threads(4)
+            .build(&g)
+            .unwrap();
+        for u in g.nodes() {
+            assert_eq!(
+                simulated.sketches.words(u),
+                parallel.sketches.words(u),
+                "{spec}: label size mismatch at {u}"
+            );
+        }
+        for i in 0..2_000u32 {
+            let u = NodeId((i.wrapping_mul(2654435761)) % 128);
+            let v = NodeId((i.wrapping_mul(40503).wrapping_add(12345)) % 128);
+            match (
+                simulated.sketches.estimate(u, v),
+                parallel.sketches.estimate(u, v),
+            ) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "{spec}: mismatch at ({u}, {v})"),
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("{spec}: one engine failed at ({u}, {v}): {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+/// A parallel build saved to disk reloads into an oracle with identical
+/// answers (the persistence contract extends to the new engine), and the
+/// snapshot carries the right spec for dispatch.
+#[test]
+fn parallel_builds_round_trip_through_the_store() {
+    let g = graph(96, 3);
+    let dir = std::env::temp_dir().join("dsketch_parallel_build_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (index, spec) in SchemeSpec::all_families().into_iter().enumerate() {
+        let path = dir.join(format!("parallel_{index}.dsk"));
+        let contents = build_stored(&g, spec, &parallel_config(3, 0)).unwrap();
+        save_snapshot(&path, &contents).unwrap();
+        let loaded = load_oracle_for_graph(&path, &g).unwrap();
+        let built = contents.sketches.as_oracle();
+        assert_eq!(loaded.scheme_name(), spec.name());
+        for u in 0..96u32 {
+            let v = NodeId((u * 31 + 17) % 96);
+            let u = NodeId(u);
+            assert_eq!(
+                built.estimate(u, v).ok(),
+                loaded.estimate(u, v).ok(),
+                "{spec}"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// `threads = 0` (all available parallelism) is part of the determinism
+/// contract too: it must match an explicit thread count bit-for-bit.
+#[test]
+fn auto_thread_count_is_still_deterministic() {
+    let g = graph(64, 9);
+    for spec in SchemeSpec::all_families() {
+        assert_eq!(
+            snapshot_bytes(&g, spec, 9, 0),
+            snapshot_bytes(&g, spec, 9, 3),
+            "{spec}: auto thread count changed the snapshot"
+        );
+    }
+}

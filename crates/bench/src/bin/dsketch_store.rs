@@ -33,13 +33,21 @@
 //! with `--nodes N`; plus `--seed N`, `--threads N` (parallel engine worker
 //! count, 0 = all cores) and `--engine parallel|congest` (default
 //! `parallel`).  `serve` flags: `--snapshot`, `--queries`, `--shards`,
-//! `--batch`, `--cache`, `--workload`, `--seed`.
+//! `--batch`, `--cache`, `--workload`, `--seed`, `--frozen true|false`.
+//! `query` and `serve` both default to `--frozen true`: the snapshot's
+//! label bytes are materialized straight into the flat CSR layout
+//! (`dsketch::flat::FlatSketchSet`) without rebuilding any `BTreeMap`;
+//! `--frozen false` loads the map-backed sketches instead (the two answer
+//! identically — CI diffs them).
 
 use dsketch::prelude::*;
 use dsketch_bench::workloads::{QueryWorkload, Workload, WorkloadSpec};
-use dsketch_bench::{arg_engine, arg_parse_or_exit, arg_value, Table};
+use dsketch_bench::{arg_engine, arg_frozen, arg_parse_or_exit, arg_value, Table};
 use dsketch_serve::{ServeConfig, SketchServer};
-use dsketch_store::{build_and_save, build_and_save_from_edge_list, inspect_snapshot, load_oracle};
+use dsketch_store::{
+    build_and_save, build_and_save_from_edge_list, inspect_snapshot, load_frozen_oracle,
+    load_oracle,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -57,9 +65,9 @@ fn usage() -> ! {
          build   --scheme SPEC --out FILE [--edges FILE | --topology T --nodes N] [--seed N]\n\
          \u{20}        [--threads N] [--engine parallel|congest]\n\
          inspect --snapshot FILE\n\
-         query   --snapshot FILE --u NODE --v NODE\n\
+         query   --snapshot FILE --u NODE --v NODE [--frozen true|false]\n\
          serve   --snapshot FILE [--queries N] [--shards N] [--batch N] [--cache N]\n\
-         \u{20}        [--workload uniform|hotspot|adversarial] [--seed N]"
+         \u{20}        [--workload uniform|hotspot|adversarial] [--seed N] [--frozen true|false]"
     );
     std::process::exit(2);
 }
@@ -200,7 +208,12 @@ fn cmd_query(args: &[String]) {
     let path = required(args, "snapshot");
     let u = node("u");
     let v = node("v");
-    let oracle = load_oracle(&path).unwrap_or_else(|e| {
+    let oracle = if arg_frozen(args) {
+        load_frozen_oracle(&path)
+    } else {
+        load_oracle(&path)
+    }
+    .unwrap_or_else(|e| {
         eprintln!("load failed: {e}");
         std::process::exit(1);
     });
@@ -232,26 +245,39 @@ fn cmd_serve(args: &[String]) {
         std::process::exit(2);
     });
 
+    let frozen = arg_frozen(args);
     let load_started = Instant::now();
     let config = ServeConfig::default()
         .with_shards(shards)
         .with_cache_capacity(cache);
-    // One load: note the node count for workload generation before the
-    // sketches become the server's oracle (SketchServer::from_snapshot is
-    // this same sequence minus the peek).
-    let contents = dsketch_store::load_snapshot(&path).unwrap_or_else(|e| {
+    // The frozen path materializes the snapshot's label bytes straight into
+    // the flat CSR layout — no BTreeMap is ever constructed between disk
+    // and the serving shards (SketchServer::from_snapshot is this same
+    // sequence; the oracle is loaded here so the node count is at hand for
+    // workload generation).
+    let oracle = if frozen {
+        load_frozen_oracle(&path)
+    } else {
+        dsketch_store::load_snapshot(&path).map(|contents| contents.into_oracle())
+    }
+    .unwrap_or_else(|e| {
         eprintln!("cold start failed: {e}");
         std::process::exit(1);
     });
-    let num_nodes = contents.sketches.num_nodes();
-    let server =
-        SketchServer::start(Arc::from(contents.into_oracle()), config).unwrap_or_else(|e| {
-            eprintln!("cold start failed: {e}");
-            std::process::exit(1);
-        });
+    let num_nodes = oracle.num_nodes();
+    let server = SketchServer::start(Arc::from(oracle), config).unwrap_or_else(|e| {
+        eprintln!("cold start failed: {e}");
+        std::process::exit(1);
+    });
     println!(
-        "cold-started {shards}-shard server from {path} in {:.1} ms (no construction rounds)",
-        load_started.elapsed().as_secs_f64() * 1e3
+        "cold-started {shards}-shard server from {path} in {:.1} ms \
+         (no construction rounds; {} labels)",
+        load_started.elapsed().as_secs_f64() * 1e3,
+        if frozen {
+            "frozen flat CSR"
+        } else {
+            "BTreeMap-backed"
+        }
     );
 
     let pairs = shape.generate(num_nodes, queries, seed);

@@ -17,9 +17,11 @@ use netgraph::{Graph, NodeId};
 /// The experiment identifiers, in DESIGN.md order (`e11` exercises the
 /// scheme-polymorphic API over every family, `e12` the sharded serving
 /// layer built on top of it, `e13` the snapshot persistence layer under
-/// it, `e14` the parallel construction engine's thread scaling).
-pub const EXPERIMENT_IDS: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+/// it, `e14` the parallel construction engine's thread scaling, `e15` the
+/// frozen flat query path's single-thread throughput vs the `BTreeMap`
+/// path).
+pub const EXPERIMENT_IDS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 /// The output of one experiment.
@@ -65,6 +67,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentResult> {
         "e12" => Some(e12_query_throughput(quick)),
         "e13" => Some(e13_snapshot_cold_start(quick)),
         "e14" => Some(e14_parallel_build_scaling(quick)),
+        "e15" => Some(e15_flat_query_throughput(quick)),
         _ => None,
     }
 }
@@ -651,10 +654,11 @@ fn e12_query_throughput(quick: bool) -> ExperimentResult {
     use dsketch_serve::{ServeConfig, SketchServer};
     use std::sync::Arc;
 
-    // Keep `queries < n²` so the adversarial stream never wraps the pair
-    // space (its zero-hit guarantee only holds for the first n² queries).
-    let n = if quick { 128 } else { 384 };
-    let queries = if quick { 10_000 } else { 100_000 };
+    // Keep `queries < n(n+1)/2` so the adversarial stream never wraps the
+    // unordered-pair space (its zero-hit guarantee only holds for the first
+    // n(n+1)/2 queries, since the serve cache canonicalises (u,v)/(v,u)).
+    let n = if quick { 128 } else { 512 };
+    let queries = if quick { 8_000 } else { 100_000 };
     let batch = 256;
     let config = ServeConfig::default(); // 4 shards, 4096-entry caches
     let mut table = Table::new(&[
@@ -892,6 +896,163 @@ fn e14_parallel_build_scaling(quick: bool) -> ExperimentResult {
     }
 }
 
+/// E15 — the frozen flat query path: single-thread throughput of
+/// [`dsketch::flat::FlatSketchSet`] vs the `BTreeMap`-backed oracle.
+///
+/// For every scheme family (and, for `tz:3`, growing graph sizes up to
+/// n = 4096 in full mode), build once with the parallel engine, freeze the
+/// labels, and replay the same uniform query stream through both
+/// representations at each batch size — one thread, `estimate_batch` for
+/// both, so the columns isolate exactly the representation change (B-tree
+/// pointer chasing vs binary search / linear merge over contiguous
+/// arrays).  The "identical" column replays a sample of the stream through
+/// both paths and compares results pairwise (errors included); the frozen
+/// path's whole claim is *same answers, faster*.
+///
+/// Besides the printed table, the measurements are written as
+/// machine-readable JSON to `BENCH_query.json` at the repository root, so
+/// later optimisation PRs have a baseline to diff against.
+fn e15_flat_query_throughput(quick: bool) -> ExperimentResult {
+    use crate::workloads::QueryWorkload;
+    use dsketch_store::build_stored;
+    use std::time::Instant;
+
+    let base = if quick { 128 } else { 256 };
+    let queries = if quick { 40_000 } else { 400_000 };
+    // Wall-clock on shared hosts is noisy; report each cell's median over
+    // `repeats` replays (medians resist scheduler-steal outliers on both
+    // sides of the comparison equally).
+    let repeats = if quick { 1 } else { 9 };
+    let batches: &[usize] = &[1, 256];
+    let mut cases: Vec<(SchemeSpec, usize)> = SchemeSpec::all_families()
+        .into_iter()
+        .map(|spec| (spec, base))
+        .collect();
+    if !quick {
+        cases.push((SchemeSpec::thorup_zwick(3), 1024));
+        cases.push((SchemeSpec::thorup_zwick(3), 4096));
+    }
+
+    /// Replay `pairs` through the oracle — direct `estimate` calls at
+    /// batch size 1 (the single-query path), `estimate_batch` in
+    /// `batch`-sized chunks otherwise; returns (throughput in queries/s,
+    /// answer checksum).
+    fn replay(
+        oracle: &dyn dsketch::DistanceOracle,
+        pairs: &[(NodeId, NodeId)],
+        batch: usize,
+    ) -> (f64, u64) {
+        let started = Instant::now();
+        let mut checksum = 0u64;
+        if batch <= 1 {
+            for &(u, v) in pairs {
+                checksum = checksum.wrapping_add(oracle.estimate(u, v).unwrap_or(u64::MAX));
+            }
+        } else {
+            for chunk in pairs.chunks(batch) {
+                for result in oracle.estimate_batch(chunk) {
+                    checksum = checksum.wrapping_add(result.unwrap_or(u64::MAX));
+                }
+            }
+        }
+        let elapsed = started.elapsed().as_secs_f64().max(1e-12);
+        (pairs.len() as f64 / elapsed, checksum)
+    }
+
+    let mut table = Table::new(&[
+        "scheme",
+        "n",
+        "batch",
+        "queries",
+        "btree q/s",
+        "flat q/s",
+        "speedup",
+        "identical",
+    ]);
+    let mut json_rows = Vec::new();
+    for (spec, n) in cases {
+        let graph = WorkloadSpec::new(Workload::ErdosRenyi, n, 42).build();
+        let config = SchemeConfig::default().with_seed(13).with_parallel_build();
+        let contents = build_stored(&graph, spec, &config).expect("construction");
+        let btree = contents.sketches.as_oracle();
+        let flat = contents.sketches.freeze();
+        let pairs = QueryWorkload::Uniform.generate(n, queries, 7);
+
+        // Answer-identity first, on a deterministic sample of the stream
+        // (the full proptest equivalence lives in tests/tests/flat_query.rs).
+        let sample = &pairs[..pairs.len().min(2_000)];
+        let identical = btree.estimate_batch(sample) == flat.estimate_batch(sample);
+
+        for &batch in batches {
+            fn median(samples: &mut [f64]) -> f64 {
+                samples.sort_by(f64::total_cmp);
+                samples[samples.len() / 2]
+            }
+            let (mut btree_samples, mut flat_samples) = (Vec::new(), Vec::new());
+            let (mut btree_sum, mut flat_sum) = (0, 0);
+            for _ in 0..repeats {
+                let (b_qps, b_sum) = replay(btree, &pairs, batch);
+                let (f_qps, f_sum) = replay(&flat, &pairs, batch);
+                btree_samples.push(b_qps);
+                flat_samples.push(f_qps);
+                (btree_sum, flat_sum) = (b_sum, f_sum);
+            }
+            let btree_qps = median(&mut btree_samples);
+            let flat_qps = median(&mut flat_samples);
+            let speedup = flat_qps / btree_qps.max(1e-12);
+            let row_identical = identical && btree_sum == flat_sum;
+            table.push(vec![
+                spec.to_string(),
+                n.to_string(),
+                batch.to_string(),
+                queries.to_string(),
+                format!("{btree_qps:.0}"),
+                format!("{flat_qps:.0}"),
+                format!("{speedup:.2}x"),
+                if row_identical { "yes" } else { "NO" }.to_string(),
+            ]);
+            json_rows.push(format!(
+                "  {{\"scheme\": \"{spec}\", \"n\": {n}, \"batch\": {batch}, \
+                 \"queries\": {queries}, \"btree_qps\": {btree_qps:.0}, \
+                 \"flat_qps\": {flat_qps:.0}, \"speedup\": {speedup:.3}, \
+                 \"identical\": {row_identical}}}"
+            ));
+        }
+    }
+
+    // Machine-readable baseline for future perf PRs.  Default target is
+    // `BENCH_query.json` at the repo root (the committed baseline comes
+    // from an explicit full-mode run); `DSKETCH_BENCH_JSON` overrides the
+    // path so incidental runs — the unit-test smoke in particular — never
+    // clobber the committed full-mode numbers with quick-mode ones.
+    let json = format!(
+        "{{\n\"experiment\": \"e15\",\n\"mode\": \"{}\",\n\"workload\": \"uniform\",\n\
+         \"threads\": 1,\n\"rows\": [\n{}\n]\n}}\n",
+        if quick { "quick" } else { "full" },
+        json_rows.join(",\n")
+    );
+    let path = std::env::var_os("DSKETCH_BENCH_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_query.json")
+        });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote machine-readable results to {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+
+    ExperimentResult {
+        id: "e15",
+        title: "Flat query path: frozen CSR labels vs BTreeMap sketches, one thread",
+        claim: "queries are answered locally in O(k) from two labels (Lemma 3.2); packing \
+                labels into contiguous sorted arrays turns every bunch probe into a binary \
+                search / linear merge over cache-resident memory, multiplying single-thread \
+                query throughput without changing a single answer (cf. Dinitz–Nazari's flat \
+                label arrays in massively parallel sketches)",
+        table,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -934,7 +1095,7 @@ mod tests {
         // 2 schemes × 3 traffic shapes.
         assert_eq!(result.table.len(), 6);
         for row in &result.table.rows {
-            assert_eq!(row[3], "10000", "every replay answers all queries: {row:?}");
+            assert_eq!(row[3], "8000", "every replay answers all queries: {row:?}");
             assert_eq!(row[4], "4", "default shard count: {row:?}");
             match row[2].as_str() {
                 // Never-repeating pairs defeat any LRU cache.
@@ -970,6 +1131,31 @@ mod tests {
                 "cold start must beat rebuild even at toy sizes: {row:?}"
             );
         }
+    }
+
+    #[test]
+    fn e15_quick_is_answer_identical_and_writes_the_json_baseline() {
+        // Divert the JSON to a temp path: a test run must never overwrite
+        // the committed full-mode BENCH_query.json at the repo root.
+        let json_path = std::env::temp_dir().join("dsketch_e15_test_BENCH_query.json");
+        std::env::set_var("DSKETCH_BENCH_JSON", &json_path);
+        let result = run_experiment("e15", true).unwrap();
+        std::env::remove_var("DSKETCH_BENCH_JSON");
+        assert_eq!(result.id, "e15");
+        // 4 families × 2 batch sizes.
+        assert_eq!(result.table.len(), 8);
+        for row in &result.table.rows {
+            assert_eq!(
+                row[7], "yes",
+                "flat and btree answers must be identical: {row:?}"
+            );
+        }
+        let json = std::fs::read_to_string(&json_path).expect("BENCH_query.json written");
+        std::fs::remove_file(&json_path).ok();
+        assert!(json.contains("\"experiment\": \"e15\""));
+        assert!(json.contains("\"mode\": \"quick\""));
+        assert!(json.contains("\"flat_qps\""));
+        assert!(!json.contains("\"identical\": false"), "{json}");
     }
 
     #[test]

@@ -70,6 +70,23 @@ pub fn arg_engine(args: &[String]) -> dsketch::BuildEngine {
     }
 }
 
+/// Parse the `--frozen true|false` flag shared by the serving binaries:
+/// whether to serve through the flat CSR representation
+/// (`dsketch::flat::FlatSketchSet`).  Defaults to `true` — serving always
+/// prefers the frozen layout; pass `--frozen false` to exercise the
+/// `BTreeMap`-backed path (e.g. for cross-checks).  An unrecognized value
+/// is a usage error (exit 2).
+pub fn arg_frozen(args: &[String]) -> bool {
+    match arg_value(args, "frozen").as_deref() {
+        None | Some("true") => true,
+        Some("false") => false,
+        Some(other) => {
+            eprintln!("--frozen {other}: expected true or false");
+            std::process::exit(2);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +102,21 @@ mod tests {
         assert_eq!(arg_parse(&args, "nodes", 7usize), 128);
         assert_eq!(arg_parse(&args, "bad", 7usize), 7);
         assert_eq!(arg_parse(&args, "missing", 7usize), 7);
+    }
+
+    #[test]
+    fn frozen_flag_defaults_to_true() {
+        let absent: Vec<String> = vec!["prog".to_string()];
+        assert!(arg_frozen(&absent));
+        let off: Vec<String> = ["prog", "--frozen", "false"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(!arg_frozen(&off));
+        let on: Vec<String> = ["prog", "--frozen", "true"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(arg_frozen(&on));
     }
 }

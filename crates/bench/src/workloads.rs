@@ -118,9 +118,11 @@ pub enum QueryWorkload {
     /// seeded permutation of the nodes, like client traffic concentrating on
     /// popular services.  Small key space ⇒ high cache-hit rate.
     Hotspot,
-    /// Cache-adversarial traffic: a permutation-style walk over the pair
-    /// space that never repeats a pair (until it has used them all), so an
-    /// LRU result cache of any size gets zero hits.
+    /// Cache-adversarial traffic: a permutation-style walk over the
+    /// **unordered** pair space that never repeats a pair — in either
+    /// orientation — until it has used them all, so an LRU result cache of
+    /// any size gets zero hits even when it canonicalises the symmetric
+    /// pairs `(u, v)` / `(v, u)` onto one entry (as the serve layer does).
     Adversarial,
 }
 
@@ -183,10 +185,12 @@ impl QueryWorkload {
                     .collect()
             }
             QueryWorkload::Adversarial => {
-                // Visit pair indices `first + t·step (mod n²)` with `step`
-                // coprime to n²: a full cycle, so no pair repeats within n²
-                // queries.
-                let space = (n * n) as u64;
+                // Visit unordered-pair indices `first + t·step (mod T)`,
+                // `T = n(n+1)/2`, with `step` coprime to `T`: a full cycle,
+                // so no unordered pair repeats within T queries.  Index
+                // `t = a(a+1)/2 + b` (with `b ≤ a`) decodes to the pair
+                // `(b, a)` by triangular root.
+                let space = (n as u64) * (n as u64 + 1) / 2;
                 let first = rng.gen_range(0..space);
                 let mut step = rng.gen_range(1..space) | 1;
                 while gcd(step, space) != 1 {
@@ -196,7 +200,7 @@ impl QueryWorkload {
                 let mut pair = first;
                 (0..count)
                     .map(|_| {
-                        let (u, v) = ((pair / n as u64) as usize, (pair % n as u64) as usize);
+                        let (u, v) = triangular_decode(pair);
                         pair = (pair + step) % space;
                         (NodeId::from_index(u), NodeId::from_index(v))
                     })
@@ -211,6 +215,21 @@ fn gcd(mut a: u64, mut b: u64) -> u64 {
         (a, b) = (b, a % b);
     }
     a
+}
+
+/// Decode an unordered-pair index `t = a(a+1)/2 + b` (with `b ≤ a`) into
+/// `(b, a)`: `a` is the triangular root of `t`.
+fn triangular_decode(t: u64) -> (usize, usize) {
+    // f64 sqrt can be off by one for large t; correct with a fix-up loop.
+    let mut a = (((8.0 * t as f64 + 1.0).sqrt() - 1.0) / 2.0) as u64;
+    while (a + 1) * (a + 2) / 2 <= t {
+        a += 1;
+    }
+    while a * (a + 1) / 2 > t {
+        a -= 1;
+    }
+    let b = t - a * (a + 1) / 2;
+    (b as usize, a as usize)
 }
 
 #[cfg(test)]
@@ -258,14 +277,20 @@ mod tests {
     }
 
     #[test]
-    fn adversarial_never_repeats_a_pair() {
-        let pairs = QueryWorkload::Adversarial.generate(32, 1000, 3);
-        let distinct: std::collections::HashSet<_> = pairs.iter().collect();
+    fn adversarial_never_repeats_a_pair_in_either_orientation() {
+        // 64 nodes span 64·65/2 = 2080 unordered pairs; 2000 queries must
+        // all be distinct even after canonicalising (u, v) / (v, u).
+        let pairs = QueryWorkload::Adversarial.generate(64, 2000, 3);
+        let unordered: std::collections::HashSet<_> = pairs
+            .iter()
+            .map(|&(u, v)| if v < u { (v, u) } else { (u, v) })
+            .collect();
         assert_eq!(
-            distinct.len(),
+            unordered.len(),
             pairs.len(),
-            "1000 < 32² pairs, all distinct"
+            "2000 < 2080 unordered pairs, all distinct"
         );
+        assert!(pairs.iter().all(|&(u, v)| u.index() < 64 && v.index() < 64));
     }
 
     #[test]

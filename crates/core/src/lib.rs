@@ -105,6 +105,10 @@
 //!   (deterministic-merge `parallel_map`, per-phase wall-clock timings).
 //! * [`query`] — distance estimation from two sketches (Lemma 3.2 and the
 //!   slack/degrading variants).
+//! * [`flat`] — the frozen CSR query representation ([`FlatSketchSet`]):
+//!   labels packed into contiguous arrays at `freeze()` time, answering the
+//!   same queries allocation-free at hardware speed — the serving layers'
+//!   default in-memory layout.
 //! * [`slack`] — Section 4: ε-density nets, 3-stretch slack sketches,
 //!   (ε, k)-CDG sketches, and gracefully degrading sketches.
 //! * [`eval`] — stretch evaluation over any `DistanceOracle` (worst-case /
@@ -156,6 +160,7 @@ pub mod codec;
 pub mod distributed;
 pub mod error;
 pub mod eval;
+pub mod flat;
 pub mod hierarchy;
 pub mod oracle;
 pub mod parallel;
@@ -174,6 +179,7 @@ pub mod prelude {
         evaluate_oracle, evaluate_oracle_sampled, evaluate_oracle_with_slack, SlackReport,
         StretchReport,
     };
+    pub use crate::flat::{FlatSketchSet, Freeze, QueryRule};
     pub use crate::hierarchy::{Hierarchy, TzParams};
     pub use crate::oracle::DistanceOracle;
     pub use crate::parallel::{BuildTimings, PhaseTiming};

@@ -29,6 +29,15 @@ use netgraph::{Distance, NodeId};
 /// tight the bound is depends on the scheme; [`DistanceOracle::stretch_bound`]
 /// reports the scheme's nominal guarantee.
 ///
+/// Estimates are also **symmetric**: `estimate(u, v)` and `estimate(v, u)`
+/// return the same *value* whenever both succeed (error payloads may name
+/// the queried nodes in argument order).  All four families satisfy this —
+/// the queries minimize over common landmarks, checking both directions —
+/// and downstream layers rely on it: the serve layer canonicalises
+/// `(u, v)`/`(v, u)` onto one shard and one cache entry.  A custom
+/// implementation (e.g. a directed-graph backend) that cannot guarantee
+/// symmetry must not be served through `dsketch-serve`'s caching path.
+///
 /// The trait requires `Send + Sync`: a built oracle is immutable label data,
 /// and the serving layer (`dsketch-serve`) shares one oracle across query
 /// shards behind an `Arc`.  All four sketch-set types are plain owned data,

@@ -36,6 +36,7 @@
 
 use crate::distributed::{self, SyncMode};
 use crate::error::SketchError;
+use crate::flat::{FlatSketchSet, Freeze, QueryRule};
 use crate::hierarchy::{Hierarchy, TzParams};
 use crate::oracle::{check_nodes, DistanceOracle};
 use crate::parallel::BuildTimings;
@@ -103,6 +104,13 @@ pub struct SchemeConfig {
     /// rounds.  Only used by [`BuildEngine::Congest`] (the parallel engine
     /// executes no rounds).
     pub max_rounds: u64,
+    /// Freeze the built sketches into the flat CSR query representation
+    /// ([`FlatSketchSet`]) before handing them back.  Only affects the
+    /// type-erased [`SchemeSpec::build`] / [`SketchBuilder::build`] path
+    /// (the typed [`SketchScheme`] builds keep their concrete sets, which
+    /// callers can [`Freeze::freeze`] themselves).  Default `false`; the
+    /// serving CLIs default it to `true`.
+    pub frozen: bool,
 }
 
 impl Default for SchemeConfig {
@@ -114,6 +122,7 @@ impl Default for SchemeConfig {
             sync: SyncMode::GlobalOracle,
             congest: CongestConfig::default(),
             max_rounds: 50_000_000,
+            frozen: false,
         }
     }
 }
@@ -165,6 +174,13 @@ impl SchemeConfig {
     /// Replace the round limit.
     pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
         self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Freeze type-erased builds into the flat CSR representation
+    /// (see [`SchemeConfig::frozen`]).
+    pub fn with_frozen(mut self, frozen: bool) -> Self {
+        self.frozen = frozen;
         self
     }
 
@@ -263,6 +279,18 @@ impl std::ops::Deref for TzSketchSet {
 
     fn deref(&self) -> &SketchSet {
         &self.sketches
+    }
+}
+
+impl Freeze for TzSketchSet {
+    /// Freeze to a level-walk oracle with the hierarchy's `2k − 1` bound.
+    fn freeze(&self) -> FlatSketchSet {
+        FlatSketchSet::single_layer(
+            &self.sketches,
+            QueryRule::LevelWalk,
+            "thorup-zwick",
+            Some((2 * self.hierarchy.k() as u64).saturating_sub(1)),
+        )
     }
 }
 
@@ -767,24 +795,44 @@ impl SchemeSpec {
     }
 
     /// Run the construction, returning type-erased sketches.
+    ///
+    /// When [`SchemeConfig::frozen`] is set, the finished sketches are
+    /// [frozen](Freeze::freeze) into a [`FlatSketchSet`] before boxing, so
+    /// the returned oracle serves from the flat CSR layout.
     pub fn build(
         &self,
         graph: &Graph,
         config: &SchemeConfig,
     ) -> Result<DynBuildOutcome, SketchError> {
+        /// Box the outcome, freezing the sketches first when asked to.
+        fn finish<O: DistanceOracle + Freeze + 'static>(
+            outcome: BuildOutcome<O>,
+            frozen: bool,
+        ) -> DynBuildOutcome {
+            if !frozen {
+                return outcome.boxed();
+            }
+            BuildOutcome {
+                sketches: Box::new(outcome.sketches.freeze()) as Box<dyn DistanceOracle>,
+                stats: outcome.stats,
+                phase_stats: outcome.phase_stats,
+                tree_stats: outcome.tree_stats,
+                timings: outcome.timings,
+            }
+        }
         match *self {
             SchemeSpec::ThorupZwick { k } => ThorupZwickScheme::new(k)
                 .build(graph, config)
-                .map(BuildOutcome::boxed),
+                .map(|o| finish(o, config.frozen)),
             SchemeSpec::ThreeStretch { eps } => ThreeStretchScheme::new(eps)
                 .build(graph, config)
-                .map(BuildOutcome::boxed),
+                .map(|o| finish(o, config.frozen)),
             SchemeSpec::Cdg { eps, k } => CdgScheme::new(eps, k)
                 .build(graph, config)
-                .map(BuildOutcome::boxed),
+                .map(|o| finish(o, config.frozen)),
             SchemeSpec::Degrading { max_layers, max_k } => DegradingScheme { max_layers, max_k }
                 .build(graph, config)
-                .map(BuildOutcome::boxed),
+                .map(|o| finish(o, config.frozen)),
         }
     }
 }
@@ -915,6 +963,14 @@ impl SketchBuilder {
     /// Replace the round limit.
     pub fn max_rounds(mut self, max_rounds: u64) -> Self {
         self.config.max_rounds = max_rounds;
+        self
+    }
+
+    /// Freeze the built sketches into the flat CSR representation
+    /// ([`FlatSketchSet`]) — the allocation-free query layout the serving
+    /// CLIs default to (see [`SchemeConfig::frozen`]).
+    pub fn frozen(mut self, frozen: bool) -> Self {
+        self.config.frozen = frozen;
         self
     }
 
@@ -1175,6 +1231,35 @@ mod tests {
             .with_threads(2);
         assert_eq!(config.engine, BuildEngine::Parallel);
         assert_eq!(config.threads, 2);
+    }
+
+    #[test]
+    fn frozen_builds_answer_identically_for_every_family() {
+        let graph = small_graph();
+        for spec in SchemeSpec::all_families() {
+            let plain = SketchBuilder::new(spec).seed(4).build(&graph).unwrap();
+            let frozen = SketchBuilder::new(spec)
+                .seed(4)
+                .frozen(true)
+                .build(&graph)
+                .unwrap();
+            assert_eq!(frozen.sketches.scheme_name(), spec.name(), "{spec}");
+            assert_eq!(
+                frozen.sketches.stretch_bound(),
+                plain.sketches.stretch_bound(),
+                "{spec}"
+            );
+            for u in graph.nodes().take(12) {
+                for v in graph.nodes().skip(12).take(12) {
+                    assert_eq!(
+                        frozen.sketches.estimate(u, v).ok(),
+                        plain.sketches.estimate(u, v).ok(),
+                        "{spec}: frozen estimate differs at ({u}, {v})"
+                    );
+                }
+                assert_eq!(frozen.sketches.words(u), plain.sketches.words(u), "{spec}");
+            }
+        }
     }
 
     #[test]

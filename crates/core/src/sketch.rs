@@ -104,14 +104,23 @@ impl Sketch {
     }
 
     /// Insert (or improve) a bunch entry.
+    ///
+    /// A strictly smaller distance replaces the entry outright.  On a
+    /// distance **tie** the lowest level wins, so the stored level is
+    /// deterministic regardless of insertion order — the centralized,
+    /// simulated and parallel constructions may discover the same member
+    /// through different levels in different orders, and the sketch must
+    /// not depend on which insertion happened last.
     pub fn insert_bunch(&mut self, node: NodeId, level: u32, distance: Distance) {
         let entry = self
             .bunch
             .entry(node)
             .or_insert(BunchEntry { level, distance });
-        if distance <= entry.distance {
+        if distance < entry.distance {
             entry.distance = distance;
             entry.level = level;
+        } else if distance == entry.distance {
+            entry.level = entry.level.min(level);
         }
     }
 
@@ -278,6 +287,29 @@ mod tests {
         assert_eq!(s.bunch_size(), 2);
         let level1: Vec<_> = s.bunch_at_level(1).collect();
         assert_eq!(level1, vec![(NodeId(4), 7)]);
+    }
+
+    #[test]
+    fn bunch_distance_ties_keep_the_lowest_level() {
+        // The same member at the same distance, inserted through different
+        // levels in both orders: the stored level must be the minimum
+        // either way (insertion order must not leak into the sketch).
+        let mut ascending = Sketch::new(NodeId(0), 3);
+        ascending.insert_bunch(NodeId(4), 0, 7);
+        ascending.insert_bunch(NodeId(4), 2, 7);
+        let mut descending = Sketch::new(NodeId(0), 3);
+        descending.insert_bunch(NodeId(4), 2, 7);
+        descending.insert_bunch(NodeId(4), 0, 7);
+        for sketch in [&ascending, &descending] {
+            assert_eq!(sketch.bunch()[&NodeId(4)].level, 0);
+            assert_eq!(sketch.bunch_distance(NodeId(4)), Some(7));
+        }
+        assert_eq!(ascending, descending);
+        // A strictly smaller distance still replaces the level outright.
+        let mut improved = descending.clone();
+        improved.insert_bunch(NodeId(4), 1, 6);
+        assert_eq!(improved.bunch()[&NodeId(4)].level, 1);
+        assert_eq!(improved.bunch_distance(NodeId(4)), Some(6));
     }
 
     #[test]

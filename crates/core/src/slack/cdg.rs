@@ -21,6 +21,7 @@
 
 use crate::distributed::{self, DistributedTzConfig};
 use crate::error::SketchError;
+use crate::flat::{FlatSketchSet, Freeze, QueryRule};
 use crate::hierarchy::Hierarchy;
 use crate::oracle::{check_nodes, DistanceOracle};
 use crate::query::{estimate_distance, estimate_distance_best_common};
@@ -122,6 +123,19 @@ impl CdgSketchSet {
     /// Average label size in words.
     pub fn avg_words(&self) -> f64 {
         self.sketches.avg_words()
+    }
+}
+
+impl Freeze for CdgSketchSet {
+    /// Freeze to a best-common-landmark oracle, matching the map-path
+    /// [`DistanceOracle`] impl ([`CdgSketchSet::estimate_best`]).
+    fn freeze(&self) -> FlatSketchSet {
+        FlatSketchSet::single_layer(
+            &self.sketches,
+            QueryRule::BestCommon,
+            "cdg",
+            Some(self.params.stretch()),
+        )
     }
 }
 

@@ -11,6 +11,7 @@
 
 use crate::distributed::DistributedTzConfig;
 use crate::error::SketchError;
+use crate::flat::{FlatSketchSet, Freeze};
 use crate::oracle::{check_nodes, DistanceOracle};
 use crate::slack::cdg::{self, CdgParams, CdgSketchSet};
 use congest_sim::RunStats;
@@ -118,6 +119,14 @@ impl DegradingSketchSet {
     /// Number of layers.
     pub fn num_layers(&self) -> usize {
         self.layers.len()
+    }
+}
+
+impl Freeze for DegradingSketchSet {
+    /// Freeze every CDG layer into one multi-layer flat set; the query is
+    /// the Theorem 4.8 rule (minimum over per-layer best-common estimates).
+    fn freeze(&self) -> FlatSketchSet {
+        FlatSketchSet::layered(self.layers.iter().map(|layer| &layer.sketches))
     }
 }
 

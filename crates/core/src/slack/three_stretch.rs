@@ -8,6 +8,7 @@
 //! `3 · d(u, v)` whenever `v` is ε-far from `u`.
 
 use crate::error::SketchError;
+use crate::flat::{FlatSketchSet, Freeze, QueryRule};
 use crate::oracle::{check_nodes, DistanceOracle};
 use crate::parallel::{parallel_map, resolve_threads, BuildTimings};
 use crate::query::estimate_distance_slack;
@@ -40,6 +41,20 @@ impl ThreeStretchSketchSet {
     /// Maximum sketch size in words.
     pub fn max_words(&self) -> usize {
         self.sketches.max_words()
+    }
+}
+
+impl Freeze for ThreeStretchSketchSet {
+    /// Freeze to a best-common-landmark oracle (the Theorem 4.3 query is
+    /// `min_{w ∈ N} d(u, w) + d(w, v)` — an intersection over the net, which
+    /// the flat layout answers with a linear merge of two sorted runs).
+    fn freeze(&self) -> FlatSketchSet {
+        FlatSketchSet::single_layer(
+            &self.sketches,
+            QueryRule::BestCommon,
+            "three-stretch",
+            Some(3),
+        )
     }
 }
 

@@ -96,12 +96,28 @@ struct Job {
     reply: Sender<Vec<(usize, Result<Distance, SketchError>)>>,
 }
 
-/// The shard a pair is routed to: a SplitMix64 finalizer over the ordered
-/// pair, reduced modulo the shard count.  Deterministic, so repeated queries
-/// for the same pair always land on the same shard (and therefore the same
-/// cache), and well mixed, so hot nodes still spread across shards by their
-/// partner node.
+/// Distance estimates are symmetric (`estimate(u, v) == estimate(v, u)` for
+/// every oracle), so `(u, v)` and `(v, u)` are the same logical query: both
+/// routing and result caching use the canonically ordered pair, which makes
+/// the two orientations land on one shard and share one cache entry.  (The
+/// oracle itself is still called with the original order, so error values —
+/// which name the queried nodes — come back exactly as a direct call would
+/// return them.)
+fn canonical(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+    if v < u {
+        (v, u)
+    } else {
+        (u, v)
+    }
+}
+
+/// The shard a pair is routed to: a SplitMix64 finalizer over the
+/// [`canonical`] pair, reduced modulo the shard count.  Deterministic, so
+/// repeated queries for the same pair (in either orientation) always land
+/// on the same shard (and therefore the same cache), and well mixed, so hot
+/// nodes still spread across shards by their partner node.
 fn shard_of(u: NodeId, v: NodeId, shards: usize) -> usize {
+    let (u, v) = canonical(u, v);
     let mut z = ((u.0 as u64) << 32 | v.0 as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -122,7 +138,8 @@ fn run_worker(
         let mut results = Vec::with_capacity(job.pairs.len());
         for &(index, u, v) in &job.pairs {
             let start = Instant::now();
-            let result = match cache.get(&(u, v)) {
+            let key = canonical(u, v);
+            let result = match cache.get(&key) {
                 Some(&distance) => {
                     counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                     Ok(distance)
@@ -131,7 +148,7 @@ fn run_worker(
                     counters.cache_misses.fetch_add(1, Ordering::Relaxed);
                     let result = oracle.estimate(u, v);
                     if let Ok(distance) = result {
-                        cache.insert((u, v), distance);
+                        cache.insert(key, distance);
                     }
                     result
                 }
@@ -200,8 +217,11 @@ impl SketchServer {
     }
 
     /// Cold-start a server from a `DSK1` sketch snapshot on disk, without
-    /// running the builder at all: load the snapshot (CRC-verified), turn
-    /// it into the scheme-appropriate oracle, and spawn the shards over it.
+    /// running the builder at all: load the snapshot (CRC-verified),
+    /// materialize the section bytes straight into the frozen
+    /// [`FlatSketchSet`](dsketch::flat::FlatSketchSet) CSR layout — no
+    /// `BTreeMap`-backed sketch is ever constructed — and spawn the shards
+    /// over it.
     ///
     /// This is the warm-standby / instant-restart path: the expensive
     /// CONGEST construction was paid by whoever wrote the snapshot
@@ -216,7 +236,7 @@ impl SketchServer {
         path: P,
         config: ServeConfig,
     ) -> Result<SketchServer, dsketch_store::StoreError> {
-        let oracle: Arc<dyn DistanceOracle> = Arc::from(dsketch_store::load_oracle(path)?);
+        let oracle: Arc<dyn DistanceOracle> = Arc::from(dsketch_store::load_frozen_oracle(path)?);
         Ok(SketchServer::start(oracle, config)?)
     }
 
@@ -371,6 +391,48 @@ mod tests {
             // 1600 pairs over 4 shards: each shard should be near 400.
             assert!((200..=600).contains(&count), "imbalanced: {per_shard:?}");
         }
+    }
+
+    #[test]
+    fn symmetric_pairs_share_a_shard_and_a_cache_entry() {
+        // Routing: both orientations of every pair land on the same shard.
+        for shards in [1, 3, 4, 8] {
+            for u in 0..25u32 {
+                for v in 0..25u32 {
+                    assert_eq!(
+                        shard_of(NodeId(u), NodeId(v), shards),
+                        shard_of(NodeId(v), NodeId(u), shards),
+                        "({u}, {v}) and ({v}, {u}) must be cached on one shard"
+                    );
+                }
+            }
+        }
+
+        // Caching: (u, v) then (v, u) is one miss then one hit, and the two
+        // orientations answer identically.
+        let oracle = oracle();
+        let server = SketchServer::start(Arc::clone(&oracle), ServeConfig::default()).unwrap();
+        let client = server.client();
+        let forward = client.query(NodeId(2), NodeId(9)).unwrap();
+        let reversed = client.query(NodeId(9), NodeId(2)).unwrap();
+        assert_eq!(forward, reversed);
+        let mid = server.stats();
+        assert_eq!(mid.totals.cache_misses, 1, "first orientation misses");
+        assert_eq!(mid.totals.cache_hits, 1, "reversed orientation hits");
+
+        // A batch mixing both orientations of fresh pairs: exactly one miss
+        // per unordered pair.
+        let pairs: Vec<(NodeId, NodeId)> = (10..20u32)
+            .flat_map(|u| [(NodeId(u), NodeId(u + 5)), (NodeId(u + 5), NodeId(u))])
+            .collect();
+        for result in client.query_batch(&pairs) {
+            result.unwrap();
+        }
+        drop(client);
+        let stats = server.shutdown();
+        assert_eq!(stats.totals.queries, 22);
+        assert_eq!(stats.totals.cache_misses, 11, "one miss per unordered pair");
+        assert_eq!(stats.totals.cache_hits, 11);
     }
 
     #[test]

@@ -71,6 +71,17 @@ impl StoredSketches {
         }
     }
 
+    /// Freeze the wrapped family into the flat CSR query representation
+    /// (see [`dsketch::flat`]).
+    pub fn freeze(&self) -> FlatSketchSet {
+        match self {
+            StoredSketches::ThorupZwick(s) => s.freeze(),
+            StoredSketches::ThreeStretch(s) => s.freeze(),
+            StoredSketches::Cdg(s) => s.freeze(),
+            StoredSketches::Degrading(s) => s.freeze(),
+        }
+    }
+
     /// Encode the family payload (the `SKCH` section body).
     pub fn encode_payload(&self) -> Vec<u8> {
         match self {
@@ -194,6 +205,30 @@ fn decode_raw(raw: RawSnapshot) -> Result<SnapshotContents, StoreError> {
 /// never served against a topology it was not built for.
 pub fn load_oracle<P: AsRef<Path>>(path: P) -> Result<Box<dyn DistanceOracle>, StoreError> {
     Ok(load_snapshot(path)?.into_oracle())
+}
+
+/// Load the snapshot at `path` straight into a **frozen** oracle: the
+/// `SKCH` section bytes are materialized directly into a
+/// [`FlatSketchSet`]'s CSR arrays, without ever constructing the mutable
+/// `BTreeMap`-backed sketches — the cold-start path `dsketch-serve` and
+/// `dsketch-store serve` default to.  Answers are identical to
+/// [`load_oracle`]'s (the equivalence property tests pin this); only the
+/// in-memory layout differs.
+pub fn load_frozen_oracle<P: AsRef<Path>>(path: P) -> Result<Box<dyn DistanceOracle>, StoreError> {
+    let file = std::fs::File::open(path)?;
+    read_frozen_oracle(std::io::BufReader::new(file))
+}
+
+/// [`load_frozen_oracle`] over any reader.
+pub fn read_frozen_oracle<R: Read>(reader: R) -> Result<Box<dyn DistanceOracle>, StoreError> {
+    let raw = SnapshotReader::new(reader).read()?;
+    let spec = raw.spec();
+    let flat = FlatSketchSet::from_family_bytes(&spec, raw.require_section(SECTION_SKETCHES)?)
+        .map_err(|source| StoreError::Codec {
+            section: SECTION_SKETCHES,
+            source,
+        })?;
+    Ok(Box::new(flat))
 }
 
 /// Like [`load_oracle`], but refuse with
@@ -393,6 +428,40 @@ mod tests {
             }
             // The parallel engine records no simulated rounds.
             assert_eq!(parallel.build_stats.as_ref().unwrap().rounds, 0);
+        }
+    }
+
+    #[test]
+    fn frozen_load_answers_like_the_map_path_for_every_family() {
+        let graph = graph();
+        for (index, spec) in SchemeSpec::all_families().into_iter().enumerate() {
+            let path = temp_path(&format!("frozen_{index}.dsk"));
+            let config = SchemeConfig::default().with_seed(9).with_parallel_build();
+            let (contents, _) = build_and_save(&graph, spec, &config, &path).unwrap();
+
+            let map_oracle = load_oracle(&path).unwrap();
+            let frozen = load_frozen_oracle(&path).unwrap();
+            assert_eq!(frozen.scheme_name(), spec.name(), "{spec}");
+            assert_eq!(frozen.num_nodes(), map_oracle.num_nodes(), "{spec}");
+            assert_eq!(frozen.stretch_bound(), map_oracle.stretch_bound(), "{spec}");
+            for u in 0..48u32 {
+                let v = NodeId((u * 11 + 5) % 48);
+                let u = NodeId(u);
+                assert_eq!(
+                    frozen.estimate(u, v).ok(),
+                    map_oracle.estimate(u, v).ok(),
+                    "{spec}: frozen estimate differs at ({u}, {v})"
+                );
+                assert_eq!(frozen.words(u), map_oracle.words(u), "{spec}");
+            }
+
+            // The bytes-direct decode and the freeze of the decoded set are
+            // the same value — two roads to one representation.
+            let via_freeze = contents.sketches.freeze();
+            let raw_bytes = contents.sketches.encode_payload();
+            let via_bytes = FlatSketchSet::from_family_bytes(&spec, &raw_bytes).unwrap();
+            assert_eq!(via_bytes, via_freeze, "{spec}");
+            std::fs::remove_file(&path).ok();
         }
     }
 

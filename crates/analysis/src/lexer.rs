@@ -1,0 +1,423 @@
+//! A lightweight, dependency-free Rust lexer — just enough structure for
+//! the project lints.
+//!
+//! The lints in [`crate::lints`] need to see identifiers, punctuation and
+//! comments while being immune to look-alike text inside string literals
+//! and doc prose (a `// the old code called unwrap()` comment must not trip
+//! `no-unwrap-in-hot-path`).  A full parser would be overkill; a scanner
+//! that classifies the token stream and tracks line numbers is exactly
+//! enough.  It handles the Rust lexical constructs that matter for not
+//! mis-classifying source text:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! * string, raw-string (`r#"…"#`, any number of hashes), byte-string and
+//!   char literals, including escapes,
+//! * lifetimes vs. char literals (`'a` vs `'a'`),
+//! * identifiers (keywords are not distinguished — the lints match on
+//!   text), numbers and single-char punctuation.
+//!
+//! The lexer never fails: unterminated constructs are consumed to end of
+//! input and tokenized as what they started as, which is the right behavior
+//! for a linter (the compiler will reject the file anyway; the lint pass
+//! should not panic on it).
+
+/// The classification of one [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `as`, `unsafe`, `fn`, …).
+    Ident,
+    /// A numeric literal (integer or float, any base; suffix included).
+    Number,
+    /// One punctuation character (`.`, `(`, `{`, `#`, `!`, `:`, …).
+    Punct,
+    /// A `//` comment, text included (doc comments too).
+    LineComment,
+    /// A `/* … */` comment (nesting handled), text included.
+    BlockComment,
+    /// A string literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// A char or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A lifetime: `'a`, `'static`, `'_`.
+    Lifetime,
+}
+
+/// One lexed token: its kind, its exact source text, and the 1-based line
+/// it starts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// The token's source text, byte-exact.
+    pub text: &'a str,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// True for comment tokens (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Tokenize `source` into a flat token stream (whitespace dropped, comments
+/// kept).  Never fails; see the module docs for the unterminated-input
+/// policy.
+pub fn tokenize(source: &str) -> Vec<Token<'_>> {
+    Lexer {
+        source,
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    source: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        let mut tokens = Vec::new();
+        while let Some(&b) = self.bytes.get(self.pos) {
+            let start = self.pos;
+            let line = self.line;
+            let kind = match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                    continue;
+                }
+                _ if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                    continue;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.consume_line_comment();
+                    TokenKind::LineComment
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.consume_block_comment();
+                    TokenKind::BlockComment
+                }
+                b'r' | b'b' if self.starts_raw_or_byte_string() => {
+                    self.consume_string_prefix();
+                    TokenKind::Str
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.pos += 1; // the `b`; the char scanner takes the rest
+                    self.consume_char_literal();
+                    TokenKind::Char
+                }
+                b'"' => {
+                    self.consume_plain_string();
+                    TokenKind::Str
+                }
+                b'\'' => self.consume_char_or_lifetime(),
+                _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
+                    self.consume_ident();
+                    TokenKind::Ident
+                }
+                _ if b.is_ascii_digit() => {
+                    self.consume_number();
+                    TokenKind::Number
+                }
+                _ => {
+                    self.pos += 1;
+                    TokenKind::Punct
+                }
+            };
+            tokens.push(Token {
+                kind,
+                text: &self.source[start..self.pos],
+                line,
+            });
+        }
+        tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump_line_on(&mut self, b: u8) {
+        if b == b'\n' {
+            self.line += 1;
+        }
+    }
+
+    fn consume_line_comment(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn consume_block_comment(&mut self) {
+        self.pos += 2; // `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.bytes.get(self.pos), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some(&b), _) => {
+                    self.bump_line_on(b);
+                    self.pos += 1;
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Does the cursor sit on `r"`, `r#`, `b"`, `br"` or `br#` — the raw /
+    /// byte string prefixes?  (`b'` is handled separately as a byte char.)
+    fn starts_raw_or_byte_string(&self) -> bool {
+        let rest = &self.bytes[self.pos..];
+        let after_prefix = match rest {
+            [b'b', b'r', ..] => &rest[2..],
+            [b'r', ..] | [b'b', ..] => &rest[1..],
+            _ => return false,
+        };
+        let raw = rest[0] == b'r' || rest.get(1) == Some(&b'r');
+        match after_prefix.first() {
+            Some(b'"') => true,
+            Some(b'#') if raw => {
+                // r#"…"# or r#ident (a raw identifier).  Look past the
+                // hashes for the opening quote.
+                let hashes = after_prefix.iter().take_while(|&&b| b == b'#').count();
+                after_prefix.get(hashes) == Some(&b'"')
+            }
+            _ => false,
+        }
+    }
+
+    fn consume_string_prefix(&mut self) {
+        // Consume `r` / `b` / `br` then dispatch on what follows.
+        let raw = self.bytes[self.pos] == b'r' || self.peek(1) == Some(b'r');
+        while matches!(self.bytes.get(self.pos), Some(b'r') | Some(b'b')) {
+            self.pos += 1;
+        }
+        if raw {
+            self.consume_raw_string();
+        } else {
+            self.consume_plain_string();
+        }
+    }
+
+    fn consume_plain_string(&mut self) {
+        self.pos += 1; // opening quote
+        while let Some(&b) = self.bytes.get(self.pos) {
+            self.bump_line_on(b);
+            self.pos += 1;
+            match b {
+                b'\\' => {
+                    if let Some(&esc) = self.bytes.get(self.pos) {
+                        self.bump_line_on(esc);
+                        self.pos += 1;
+                    }
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    fn consume_raw_string(&mut self) {
+        let hashes = self.bytes[self.pos..]
+            .iter()
+            .take_while(|&&b| b == b'#')
+            .count();
+        self.pos += hashes + 1; // hashes + opening quote
+        while let Some(&b) = self.bytes.get(self.pos) {
+            self.bump_line_on(b);
+            self.pos += 1;
+            if b == b'"' {
+                let closing = &self.bytes[self.pos..];
+                if closing.len() >= hashes && closing[..hashes].iter().all(|&b| b == b'#') {
+                    self.pos += hashes;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn consume_char_or_lifetime(&mut self) -> TokenKind {
+        // `'a` (lifetime) vs `'a'` (char): a lifetime is `'` + ident chars
+        // with no closing quote right after.
+        let mut probe = self.pos + 1;
+        while self
+            .bytes
+            .get(probe)
+            .is_some_and(|&b| b == b'_' || b.is_ascii_alphanumeric())
+        {
+            probe += 1;
+        }
+        // (`get` returning `None` — end of input — also means lifetime.)
+        let is_lifetime = probe > self.pos + 1 && self.bytes.get(probe) != Some(&b'\'');
+        if is_lifetime {
+            self.pos = probe;
+            TokenKind::Lifetime
+        } else {
+            self.consume_char_literal();
+            TokenKind::Char
+        }
+    }
+
+    fn consume_char_literal(&mut self) {
+        self.pos += 1; // opening quote
+        while let Some(&b) = self.bytes.get(self.pos) {
+            self.bump_line_on(b);
+            self.pos += 1;
+            match b {
+                b'\\' if self.bytes.get(self.pos).is_some() => self.pos += 1,
+                b'\'' => break,
+                _ => {}
+            }
+        }
+    }
+
+    fn consume_ident(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80)
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn consume_number(&mut self) {
+        // Numbers never matter to the lints; consume digits, `_`, `.`, and
+        // alphanumeric suffix/exponent chars greedily (but stop before a
+        // `..` range so `0..n` lexes as three tokens).
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'.' {
+                if self.peek(1) == Some(b'.') {
+                    break;
+                }
+                self.pos += 1;
+            } else if b == b'_' || b.is_ascii_alphanumeric() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<(TokenKind, &str)> {
+        tokenize(source)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        assert_eq!(
+            kinds("let x = a.unwrap();"),
+            vec![
+                (TokenKind::Ident, "let"),
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct, "="),
+                (TokenKind::Ident, "a"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Ident, "unwrap"),
+                (TokenKind::Punct, "("),
+                (TokenKind::Punct, ")"),
+                (TokenKind::Punct, ";"),
+            ]
+        );
+        assert_eq!(
+            kinds("0..10 1_000u64 3.5e2"),
+            vec![
+                (TokenKind::Number, "0"),
+                (TokenKind::Punct, "."),
+                (TokenKind::Punct, "."),
+                (TokenKind::Number, "10"),
+                (TokenKind::Number, "1_000u64"),
+                (TokenKind::Number, "3.5e2"),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let tokens = kinds(r#"let s = "call unwrap() as u32"; t"#);
+        assert!(tokens.contains(&(TokenKind::Str, r#""call unwrap() as u32""#)));
+        // No Ident token for the words inside the string.
+        assert!(!tokens
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let source = "r#\"a \" inside\"# r\"plain\" br#\"bytes\"#";
+        let tokens = kinds(source);
+        assert_eq!(tokens.len(), 3);
+        assert!(tokens.iter().all(|(k, _)| *k == TokenKind::Str));
+    }
+
+    #[test]
+    fn comments_and_nesting() {
+        let source = "code // line unwrap()\n/* outer /* inner */ still */ after";
+        let tokens = kinds(source);
+        assert_eq!(tokens[0], (TokenKind::Ident, "code"));
+        assert_eq!(tokens[1].0, TokenKind::LineComment);
+        assert_eq!(tokens[2].0, TokenKind::BlockComment);
+        assert_eq!(tokens[3], (TokenKind::Ident, "after"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        assert_eq!(
+            kinds("&'a str 'x' '\\n' b'z' '_'"),
+            vec![
+                (TokenKind::Punct, "&"),
+                (TokenKind::Lifetime, "'a"),
+                (TokenKind::Ident, "str"),
+                (TokenKind::Char, "'x'"),
+                (TokenKind::Char, "'\\n'"),
+                (TokenKind::Char, "b'z'"),
+                // `'_'` is a char literal holding an underscore.
+                (TokenKind::Char, "'_'"),
+            ]
+        );
+        assert_eq!(kinds("<'_>")[1].0, TokenKind::Lifetime);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked_across_constructs() {
+        let source = "a\n\"two\nline\"\nb /* c\nd */ e";
+        let tokens = tokenize(source);
+        let find = |text: &str| tokens.iter().find(|t| t.text == text).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("e"), 5);
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for source in ["\"open", "/* open", "r#\"open", "'"] {
+            let _ = tokenize(source);
+        }
+    }
+}

@@ -19,6 +19,10 @@
 //! # what is in the file? (also verifies every checksum)
 //! cargo run --release -p dsketch-bench --bin dsketch-store -- inspect --snapshot g.dsk
 //!
+//! # deep semantic verification beyond the checksums (bunch ordering,
+//! # pivot-row contracts, hierarchy consistency — see `dsketch-analyze`)
+//! cargo run --release -p dsketch-bench --bin dsketch-store -- verify --snapshot g.dsk
+//!
 //! # answer one query from the snapshot alone
 //! cargo run --release -p dsketch-bench --bin dsketch-store -- \
 //!     query --snapshot g.dsk --u 0 --v 41
@@ -60,11 +64,12 @@ fn required(args: &[String], name: &str) -> String {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dsketch-store <build|inspect|query|serve> [flags]\n\
+        "usage: dsketch-store <build|inspect|query|serve|verify> [flags]\n\
          \n\
          build   --scheme SPEC --out FILE [--edges FILE | --topology T --nodes N] [--seed N]\n\
          \u{20}        [--threads N] [--engine parallel|congest]\n\
          inspect --snapshot FILE\n\
+         verify  --snapshot FILE\n\
          query   --snapshot FILE --u NODE --v NODE [--frozen true|false]\n\
          serve   --snapshot FILE [--queries N] [--shards N] [--batch N] [--cache N]\n\
          \u{20}        [--workload uniform|hotspot|adversarial] [--seed N] [--frozen true|false]"
@@ -77,6 +82,7 @@ fn main() {
     match args.get(1).map(String::as_str) {
         Some("build") => cmd_build(&args),
         Some("inspect") => cmd_inspect(&args),
+        Some("verify") => cmd_verify(&args),
         Some("query") => cmd_query(&args),
         Some("serve") => cmd_serve(&args),
         _ => usage(),
@@ -185,17 +191,44 @@ fn cmd_inspect(args: &[String]) {
         None => println!("built in:    (not recorded)"),
     }
     println!("total bytes: {}", summary.total_bytes);
-    let mut table = Table::new(&["section", "offset", "bytes", "crc32"]);
-    for entry in &summary.sections {
+    let mut table = Table::new(&["section", "offset", "bytes", "crc32", "decodes to"]);
+    for (entry, entities) in summary.sections.iter().zip(&summary.section_entities) {
         table.push(vec![
             entry.id.to_string(),
             entry.offset.to_string(),
             entry.len.to_string(),
             format!("{:08x}", entry.crc),
+            entities.to_string(),
         ]);
     }
     println!("{}", table.to_text());
     println!("all checksums verified ✓");
+}
+
+fn cmd_verify(args: &[String]) {
+    let path = required(args, "snapshot");
+    match dsketch_analysis::verify_snapshot_file(std::path::Path::new(&path)) {
+        Ok(report) => {
+            println!(
+                "{path}: ok — {} snapshot, {} nodes, {} layer(s), {} bunch entries, {} pivots",
+                report.spec.name(),
+                report.nodes,
+                report.layers,
+                report.bunch_entries,
+                report.pivots_present,
+            );
+            for section in &report.sections {
+                println!(
+                    "  section {}: {} bytes at offset {}, crc ok",
+                    section.id, section.len, section.file_offset
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("{path}: FAILED [{}] {e}", e.kind());
+            std::process::exit(1);
+        }
+    }
 }
 
 fn cmd_query(args: &[String]) {

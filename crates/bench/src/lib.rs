@@ -16,6 +16,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod experiments;
 pub mod table;

@@ -38,7 +38,7 @@
 //! unnoticed, and the per-message word cost is accumulated in the statistics.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod engine;
 pub mod message;

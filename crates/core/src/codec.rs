@@ -135,7 +135,7 @@ impl Encoder {
     /// Append a `usize` as a `u64` (the on-disk form is
     /// architecture-independent).
     pub fn put_usize(&mut self, v: usize) {
-        self.put_u64(v as u64);
+        self.put_u64(crate::cast::u64_from_usize(v));
     }
 
     /// Append an `f64` as its IEEE-754 bit pattern (NaN-safe: the exact
@@ -146,7 +146,7 @@ impl Encoder {
 
     /// Append a bool as one byte (`0` / `1`).
     pub fn put_bool(&mut self, v: bool) {
-        self.put_u8(v as u8);
+        self.put_u8(crate::cast::u8_from_bool(v));
     }
 
     /// Bytes encoded so far.
@@ -201,6 +201,21 @@ impl<'a> Decoder<'a> {
         Ok(slice)
     }
 
+    /// Like [`Decoder::take`], but as a fixed-size array — the shape the
+    /// `from_le_bytes` constructors want, with the length mismatch a typed
+    /// error instead of a panicking slice conversion.
+    fn take_array<const N: usize>(&mut self, context: &'static str) -> Result<[u8; N], CodecError> {
+        let slice = self.take(N, context)?;
+        slice
+            .first_chunk::<N>()
+            .copied()
+            .ok_or(CodecError::UnexpectedEof {
+                context,
+                needed: N,
+                remaining: slice.len(),
+            })
+    }
+
     /// Read one byte.
     pub fn u8(&mut self, context: &'static str) -> Result<u8, CodecError> {
         Ok(self.take(1, context)?[0])
@@ -208,23 +223,17 @@ impl<'a> Decoder<'a> {
 
     /// Read a little-endian `u32`.
     pub fn u32(&mut self, context: &'static str) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(
-            self.take(4, context)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.take_array(context)?))
     }
 
     /// Read a little-endian `i32`.
     pub fn i32(&mut self, context: &'static str) -> Result<i32, CodecError> {
-        Ok(i32::from_le_bytes(
-            self.take(4, context)?.try_into().expect("4 bytes"),
-        ))
+        Ok(i32::from_le_bytes(self.take_array(context)?))
     }
 
     /// Read a little-endian `u64`.
     pub fn u64(&mut self, context: &'static str) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(
-            self.take(8, context)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.take_array(context)?))
     }
 
     /// Read a `usize` stored as `u64`, rejecting values that do not fit.
@@ -401,7 +410,7 @@ impl SketchCodec for Sketch {
         for _ in 0..bunch_len {
             let node = NodeId::decode(input)?;
             let entry = BunchEntry::decode(input)?;
-            if entry.level as usize >= k {
+            if crate::cast::usize_from_u32(entry.level) >= k {
                 return Err(CodecError::Invalid {
                     context: "Sketch.bunch entry",
                     message: format!("bunch level {} out of range for k = {k}", entry.level),

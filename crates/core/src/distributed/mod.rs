@@ -134,6 +134,7 @@ impl DistributedTz {
     )]
     pub fn run(graph: &Graph, params: &TzParams, config: DistributedTzConfig) -> TzBuildResult {
         #[allow(deprecated)]
+        // dsketch-lint: allow(no-unwrap-in-hot-path): deprecated panicking shim; try_run is the typed-error path
         Self::try_run(graph, params, config).expect("distributed TZ construction failed")
     }
 
@@ -164,6 +165,7 @@ impl DistributedTz {
         hierarchy: Hierarchy,
         config: DistributedTzConfig,
     ) -> TzBuildResult {
+        // dsketch-lint: allow(no-unwrap-in-hot-path): deprecated panicking shim; try_run_with_hierarchy is the typed-error path
         build_with_hierarchy(graph, hierarchy, config).expect("distributed TZ construction failed")
     }
 

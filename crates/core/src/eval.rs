@@ -53,13 +53,13 @@ impl StretchReport {
                 exact_fraction: 0.0,
             };
         }
-        stretches.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        stretches.sort_by(f64::total_cmp);
         let n = stretches.len();
         let pct = |q: f64| stretches[((q * (n - 1) as f64).round() as usize).min(n - 1)];
         StretchReport {
             pairs,
             failures,
-            worst: *stretches.last().unwrap(),
+            worst: stretches.last().copied().unwrap_or(0.0),
             average: stretches.iter().sum::<f64>() / n as f64,
             median: pct(0.5),
             p90: pct(0.9),

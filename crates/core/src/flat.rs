@@ -40,6 +40,7 @@
 
 #![deny(missing_docs)]
 
+use crate::cast;
 use crate::codec::{CodecError, Decoder, SketchCodec};
 use crate::error::SketchError;
 use crate::hierarchy::Hierarchy;
@@ -126,6 +127,7 @@ impl FlatLayer {
     }
 
     fn offset(len: usize) -> u32 {
+        // dsketch-lint: allow(no-unwrap-in-hot-path): capacity contract — layers over u32::MAX entries are unrepresentable by design, checked at freeze time
         u32::try_from(len).expect("flat sketch arrays exceed u32 offset range")
     }
 
@@ -199,7 +201,7 @@ impl FlatLayer {
                 let node = NodeId::decode(input)?;
                 let level = input.u32("BunchEntry.level")?;
                 let distance = input.u64("BunchEntry.distance")?;
-                if level as usize >= k {
+                if cast::usize_from_u32(level) >= k {
                     return Err(CodecError::Invalid {
                         context: "Sketch.bunch entry",
                         message: format!("bunch level {level} out of range for k = {k}"),
@@ -227,10 +229,18 @@ impl FlatLayer {
     fn label(&self, u: usize) -> Label<'_> {
         let (pivot_start, bunch_start) = self.offsets[u];
         let (pivot_end, bunch_end) = self.offsets[u + 1];
+        let (pivot_start, pivot_end) = (
+            cast::usize_from_u32(pivot_start),
+            cast::usize_from_u32(pivot_end),
+        );
+        let (bunch_start, bunch_end) = (
+            cast::usize_from_u32(bunch_start),
+            cast::usize_from_u32(bunch_end),
+        );
         Label {
-            pivots: &self.pivots[pivot_start as usize..pivot_end as usize],
-            bunch_nodes: &self.bunch_nodes[bunch_start as usize..bunch_end as usize],
-            bunch_dists: &self.bunch_dists[bunch_start as usize..bunch_end as usize],
+            pivots: &self.pivots[pivot_start..pivot_end],
+            bunch_nodes: &self.bunch_nodes[bunch_start..bunch_end],
+            bunch_dists: &self.bunch_dists[bunch_start..bunch_end],
         }
     }
 
@@ -318,7 +328,7 @@ impl FlatLayer {
     /// Largest per-node `k` in this layer (pivot range length).
     fn max_k(&self) -> usize {
         (0..self.num_nodes)
-            .map(|u| (self.offsets[u + 1].0 - self.offsets[u].0) as usize)
+            .map(|u| cast::usize_from_u32(self.offsets[u + 1].0 - self.offsets[u].0))
             .max()
             .unwrap_or(0)
     }
@@ -403,7 +413,8 @@ impl Freeze for SketchSet {
     /// and stretch accounting as its own [`DistanceOracle`] impl.
     fn freeze(&self) -> FlatSketchSet {
         let layer = FlatLayer::from_sketch_set(self);
-        let stretch = (layer.num_nodes > 0).then(|| (2 * layer.max_k() as u64).saturating_sub(1));
+        let stretch = (layer.num_nodes > 0)
+            .then(|| (2 * cast::u64_from_usize(layer.max_k())).saturating_sub(1));
         FlatSketchSet {
             layers: vec![layer],
             rule: QueryRule::LevelWalk,
@@ -469,7 +480,7 @@ impl FlatSketchSet {
                 // Layout of TzSketchSet: sketches, hierarchy.
                 let layer = FlatLayer::decode_sketch_set(&mut input)?;
                 let hierarchy = Hierarchy::decode(&mut input)?;
-                let stretch = (2 * hierarchy.k() as u64).saturating_sub(1);
+                let stretch = (2 * cast::u64_from_usize(hierarchy.k())).saturating_sub(1);
                 FlatSketchSet::from_parts(
                     vec![layer],
                     QueryRule::LevelWalk,
@@ -521,6 +532,89 @@ impl FlatSketchSet {
     /// Number of layers (one except for the degrading family).
     pub fn num_layers(&self) -> usize {
         self.layers.len()
+    }
+
+    /// Check the CSR structural invariants every query path relies on:
+    /// per layer, the offset array has `num_nodes + 1` monotone entries
+    /// starting at `(0, 0)` and terminating exactly at the pivot/bunch
+    /// array lengths, the two bunch arrays are parallel, and every node's
+    /// bunch keys are strictly ascending (the binary-search contract).
+    ///
+    /// Freezing and the validated snapshot decoders cannot produce a
+    /// violating value; this exists for the deep verifier (`dsketch-analyze
+    /// verify`), which re-checks serving state instead of trusting the
+    /// code that built it.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (index, layer) in self.layers.iter().enumerate() {
+            let check = |ok: bool, message: String| -> Result<(), String> {
+                if ok {
+                    Ok(())
+                } else {
+                    Err(format!("layer {index}: {message}"))
+                }
+            };
+            check(
+                layer.offsets.len() == layer.num_nodes + 1,
+                format!(
+                    "{} offset entries for {} nodes",
+                    layer.offsets.len(),
+                    layer.num_nodes
+                ),
+            )?;
+            check(
+                layer.offsets.first() == Some(&(0, 0)),
+                "offset array does not start at (0, 0)".to_string(),
+            )?;
+            check(
+                layer.bunch_nodes.len() == layer.bunch_dists.len(),
+                format!(
+                    "{} bunch keys but {} bunch distances",
+                    layer.bunch_nodes.len(),
+                    layer.bunch_dists.len()
+                ),
+            )?;
+            for (node, pair) in layer.offsets.windows(2).enumerate() {
+                let (pivot_lo, bunch_lo) = pair[0];
+                let (pivot_hi, bunch_hi) = pair[1];
+                check(
+                    pivot_lo <= pivot_hi && bunch_lo <= bunch_hi,
+                    format!("offsets decrease at node {node}"),
+                )?;
+                check(
+                    pivot_lo < pivot_hi,
+                    format!("node {node} has an empty pivot row (k = 0)"),
+                )?;
+                check(
+                    cast::usize_from_u32(pivot_hi) <= layer.pivots.len()
+                        && cast::usize_from_u32(bunch_hi) <= layer.bunch_nodes.len(),
+                    format!("offsets of node {node} point past the end of the arrays"),
+                )?;
+                let bunch = &layer.bunch_nodes
+                    [cast::usize_from_u32(bunch_lo)..cast::usize_from_u32(bunch_hi)];
+                check(
+                    bunch.windows(2).all(|w| w[0] < w[1]),
+                    format!("bunch of node {node} is not strictly ascending"),
+                )?;
+            }
+            let last = layer.offsets[layer.num_nodes];
+            check(
+                cast::usize_from_u32(last.0) == layer.pivots.len(),
+                format!(
+                    "offsets terminate at pivot {} but {} pivot slots exist",
+                    last.0,
+                    layer.pivots.len()
+                ),
+            )?;
+            check(
+                cast::usize_from_u32(last.1) == layer.bunch_nodes.len(),
+                format!(
+                    "offsets terminate at bunch {} but {} bunch entries exist",
+                    last.1,
+                    layer.bunch_nodes.len()
+                ),
+            )?;
+        }
+        Ok(())
     }
 
     /// The Lemma 3.2 level walk, answered from the flat arrays.  Identical

@@ -117,6 +117,9 @@
 //! * [`codec`] — the stable binary encoding of every label type
 //!   ([`SketchCodec`]), the payload layer under the `dsketch-store`
 //!   snapshot format (build once, save, serve from disk forever).
+//! * [`cast`] — checked and intent-bearing integer conversions; the
+//!   `checked-casts` project lint keeps bare `as` casts out of the
+//!   byte-layout code in favor of these helpers.
 //!
 //! # Migrating from the deprecated `run()` entry points
 //!
@@ -151,10 +154,11 @@
 //! [`evaluate_oracle_sampled`]: eval::evaluate_oracle_sampled
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod baseline;
 pub mod build;
+pub mod cast;
 pub mod centralized;
 pub mod codec;
 pub mod distributed;

@@ -60,6 +60,30 @@ pub fn resolve_threads(threads: usize) -> usize {
     }
 }
 
+/// Spawn a named, long-lived worker thread — the one blessed spawn path of
+/// the workspace (the `no-raw-thread-spawn` project lint keeps
+/// `std::thread` spawns out of everything but this module, so thread
+/// naming and failure policy live in one place).
+///
+/// The name shows up in panic messages, debuggers and `/proc`, which is
+/// what makes a wedged serving shard diagnosable in production.
+///
+/// # Panics
+///
+/// Panics if the OS refuses to spawn the thread (resource exhaustion) —
+/// there is no meaningful recovery for a worker that never existed.
+pub fn spawn_named<T, F>(name: &str, f: F) -> std::thread::JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(f)
+        // dsketch-lint: allow(no-unwrap-in-hot-path): OS spawn failure is resource exhaustion — no recovery without a thread
+        .unwrap_or_else(|e| panic!("failed to spawn thread `{name}`: {e}"))
+}
+
 /// Map `f` over `items` on up to `threads` worker threads, returning the
 /// results in input order.
 ///
@@ -123,6 +147,7 @@ where
             .collect();
         handles
             .into_iter()
+            // dsketch-lint: allow(no-unwrap-in-hot-path): join propagates a worker panic — there is no error to type
             .map(|h| h.join().expect("parallel_map worker panicked"))
             .collect()
     });
@@ -137,6 +162,7 @@ where
     }
     slots
         .into_iter()
+        // dsketch-lint: allow(no-unwrap-in-hot-path): merge invariant — every index in 0..n is claimed by exactly one worker
         .map(|slot| slot.expect("every index computed exactly once"))
         .collect()
 }

@@ -36,7 +36,7 @@
 //! reproducible.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod apsp;
 pub mod builder;

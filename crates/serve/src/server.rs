@@ -199,12 +199,10 @@ impl SketchServer {
             let worker_oracle = Arc::clone(&oracle);
             let worker_counters = Arc::clone(&shard_counters);
             let cache_capacity = config.cache_capacity;
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("dsketch-serve-{shard}"))
-                    .spawn(move || run_worker(worker_oracle, rx, worker_counters, cache_capacity))
-                    .expect("spawn query shard"),
-            );
+            workers.push(dsketch::parallel::spawn_named(
+                &format!("dsketch-serve-{shard}"),
+                move || run_worker(worker_oracle, rx, worker_counters, cache_capacity),
+            ));
             senders.push(tx);
             counters.push(shard_counters);
         }
@@ -278,6 +276,7 @@ impl SketchServer {
     fn join_workers(&mut self) {
         self.senders.clear(); // workers exit when every sender is gone
         for worker in self.workers.drain(..) {
+            // dsketch-lint: allow(no-unwrap-in-hot-path): join propagates a shard panic — there is no error to type
             worker.join().expect("query shard panicked");
         }
     }
@@ -304,6 +303,7 @@ impl ServeClient {
     /// Equivalent to a one-element [`ServeClient::query_batch`]; the result
     /// is exactly what [`DistanceOracle::estimate`] returns for `(u, v)`.
     pub fn query(&self, u: NodeId, v: NodeId) -> Result<Distance, SketchError> {
+        // dsketch-lint: allow(no-unwrap-in-hot-path): a one-pair batch returns exactly one result by construction
         self.query_batch(&[(u, v)]).pop().expect("one result")
     }
 
@@ -332,12 +332,14 @@ impl ServeClient {
                     pairs: shard_pairs,
                     reply: reply_tx.clone(),
                 })
+                // dsketch-lint: allow(no-unwrap-in-hot-path): a closed queue means the shard thread died mid-query — propagate its panic
                 .expect("query shard terminated");
             jobs_sent += 1;
         }
         drop(reply_tx);
         let mut results: Vec<Option<Result<Distance, SketchError>>> = vec![None; pairs.len()];
         for _ in 0..jobs_sent {
+            // dsketch-lint: allow(no-unwrap-in-hot-path): a closed reply channel means the shard thread died mid-query — propagate its panic
             let batch = reply_rx.recv().expect("query shard terminated");
             for (index, result) in batch {
                 results[index] = Some(result);
@@ -345,6 +347,7 @@ impl ServeClient {
         }
         results
             .into_iter()
+            // dsketch-lint: allow(no-unwrap-in-hot-path): routing invariant — every input index is assigned to exactly one shard job
             .map(|r| r.expect("every pair answered"))
             .collect()
     }

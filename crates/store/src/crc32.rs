@@ -10,6 +10,7 @@ const fn build_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
+        // dsketch-lint: allow(checked-casts): const context — `From` impls are not const-callable on this toolchain
         let mut c = i as u32;
         let mut bit = 0;
         while bit < 8 {
@@ -32,7 +33,7 @@ static TABLE: [u32; 256] = build_table();
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = !0u32;
     for &byte in bytes {
-        crc = TABLE[((crc ^ byte as u32) & 0xFF) as usize] ^ (crc >> 8);
+        crc = TABLE[usize::from(dsketch::cast::low_byte(crc ^ u32::from(byte)))] ^ (crc >> 8);
     }
     !crc
 }

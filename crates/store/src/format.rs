@@ -33,6 +33,7 @@
 
 use crate::crc32::crc32;
 use crate::error::StoreError;
+use dsketch::cast;
 use dsketch::codec::{Decoder, Encoder, SketchCodec};
 use dsketch::SchemeSpec;
 use netgraph::GraphFingerprint;
@@ -99,13 +100,20 @@ pub struct Header {
 impl Header {
     /// Serialize the full header block — prelude, body, trailing CRC — as
     /// written to disk.  `version` is always [`FORMAT_VERSION`] on write.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    ///
+    /// Fails (with a typed error, not a wrapped offset) on the absurd:
+    /// a section table or header body whose size does not fit the
+    /// format's `u32` fields.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        let oversize = |what: &str, e: cast::CastError| StoreError::MalformedSectionTable {
+            message: format!("{what}: {e}"),
+        };
         let mut body = Encoder::new();
         self.spec.encode(&mut body);
         body.put_u64(self.fingerprint.nodes);
         body.put_u64(self.fingerprint.edges);
         body.put_u64(self.fingerprint.weight_checksum);
-        body.put_u32(self.sections.len() as u32);
+        body.put_u32(cast::to_u32(self.sections.len()).map_err(|e| oversize("section count", e))?);
         for entry in &self.sections {
             for &b in &entry.id.0 {
                 body.put_u8(b);
@@ -116,15 +124,16 @@ impl Header {
         }
         let body = body.into_bytes();
 
+        // header_len covers the body plus the trailing CRC.
+        let header_len = cast::to_u32(body.len() + 4).map_err(|e| oversize("header length", e))?;
         let mut out = Vec::with_capacity(12 + body.len() + 4);
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&self.version.to_le_bytes());
-        // header_len covers the body plus the trailing CRC.
-        out.extend_from_slice(&((body.len() + 4) as u32).to_le_bytes());
+        out.extend_from_slice(&header_len.to_le_bytes());
         out.extend_from_slice(&body);
         let crc = crc32(&out);
         out.extend_from_slice(&crc.to_le_bytes());
-        out
+        Ok(out)
     }
 
     /// Parse and verify a header from the prelude bytes plus the header
@@ -133,11 +142,14 @@ impl Header {
     /// `prelude` is the 12 fixed bytes (magic, version, header_len);
     /// `block` is the `header_len` bytes that follow.
     pub fn from_parts(prelude: &[u8; 12], block: &[u8]) -> Result<Header, StoreError> {
-        let found: [u8; 4] = prelude[0..4].try_into().expect("4 bytes");
+        // A [u8; 12] prelude always splits into three 4-byte fields; the
+        // array constructors below make that a type-level fact instead of
+        // a panicking slice conversion.
+        let found = [prelude[0], prelude[1], prelude[2], prelude[3]];
         if found != MAGIC {
             return Err(StoreError::BadMagic { found });
         }
-        let version = u32::from_le_bytes(prelude[4..8].try_into().expect("4 bytes"));
+        let version = u32::from_le_bytes([prelude[4], prelude[5], prelude[6], prelude[7]]);
         if version > FORMAT_VERSION {
             return Err(StoreError::UnsupportedVersion {
                 found: version,
@@ -150,7 +162,13 @@ impl Header {
             });
         }
         let (body, crc_bytes) = block.split_at(block.len() - 4);
-        let expected = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        let expected = crc_bytes
+            .first_chunk::<4>()
+            .copied()
+            .map(u32::from_le_bytes)
+            .ok_or(StoreError::Truncated {
+                context: "header checksum",
+            })?;
         let mut checked = Vec::with_capacity(12 + body.len());
         checked.extend_from_slice(prelude);
         checked.extend_from_slice(body);
@@ -167,7 +185,7 @@ impl Header {
                 edges: input.u64("fingerprint.edges")?,
                 weight_checksum: input.u64("fingerprint.checksum")?,
             };
-            let count = input.u32("section count")? as usize;
+            let count = cast::usize_from_u32(input.u32("section count")?);
             let mut sections = Vec::with_capacity(count.min(1024));
             for _ in 0..count {
                 let mut id = [0u8; 4];
@@ -262,7 +280,7 @@ mod tests {
     #[test]
     fn header_round_trips() {
         let header = sample_header();
-        let bytes = header.to_bytes();
+        let bytes = header.to_bytes().unwrap();
         let (prelude, block) = split(&bytes);
         assert_eq!(Header::from_parts(&prelude, block).unwrap(), header);
         assert_eq!(header.payload_len(), 148);
@@ -270,7 +288,7 @@ mod tests {
 
     #[test]
     fn bad_magic_is_rejected() {
-        let mut bytes = sample_header().to_bytes();
+        let mut bytes = sample_header().to_bytes().unwrap();
         bytes[0] = b'X';
         let (prelude, block) = split(&bytes);
         assert!(matches!(
@@ -283,7 +301,7 @@ mod tests {
     fn future_versions_are_rejected() {
         let mut header = sample_header();
         header.version = FORMAT_VERSION + 1;
-        let bytes = header.to_bytes();
+        let bytes = header.to_bytes().unwrap();
         let (prelude, block) = split(&bytes);
         assert!(matches!(
             Header::from_parts(&prelude, block),
@@ -293,7 +311,7 @@ mod tests {
 
     #[test]
     fn every_header_bit_flip_is_detected() {
-        let bytes = sample_header().to_bytes();
+        let bytes = sample_header().to_bytes().unwrap();
         for byte in 0..bytes.len() {
             let mut flipped = bytes.clone();
             flipped[byte] ^= 0x40;
@@ -309,7 +327,7 @@ mod tests {
     fn non_contiguous_section_tables_are_rejected() {
         let mut header = sample_header();
         header.sections[1].offset = 99;
-        let bytes = header.to_bytes();
+        let bytes = header.to_bytes().unwrap();
         let (prelude, block) = split(&bytes);
         assert!(matches!(
             Header::from_parts(&prelude, block),

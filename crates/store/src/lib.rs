@@ -69,7 +69,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod crc32;
 pub mod error;
@@ -82,7 +82,7 @@ pub use format::{SectionId, FORMAT_VERSION, MAGIC, SECTION_BUILD_STATS, SECTION_
 pub use pipeline::{
     build_and_save, build_and_save_from_edge_list, build_stored, inspect_snapshot,
     load_frozen_oracle, load_oracle, load_oracle_for_graph, load_snapshot, read_frozen_oracle,
-    read_snapshot, save_snapshot, write_snapshot, SnapshotContents, SnapshotSummary,
-    StoredSketches,
+    read_snapshot, save_snapshot, write_snapshot, SectionEntities, SnapshotContents,
+    SnapshotSummary, StoredSketches,
 };
 pub use snapshot::{RawSnapshot, SnapshotReader, SnapshotWriter};

@@ -92,6 +92,33 @@ impl StoredSketches {
         }
     }
 
+    /// Decoded entity counts of the family payload — what the `SKCH`
+    /// section's bytes actually contain: `(layers, nodes, bunch_entries)`.
+    /// Single-layer families report `layers == 1`; `bunch_entries` is the
+    /// total across every sketch of every layer.
+    pub fn entity_counts(&self) -> (usize, usize, usize) {
+        let count = |set: &SketchSet| (set.len(), set.iter().map(Sketch::bunch_size).sum());
+        match self {
+            StoredSketches::ThorupZwick(s) => {
+                let (nodes, bunches) = count(&s.sketches);
+                (1, nodes, bunches)
+            }
+            StoredSketches::ThreeStretch(s) => {
+                let (nodes, bunches) = count(&s.sketches);
+                (1, nodes, bunches)
+            }
+            StoredSketches::Cdg(s) => {
+                let (nodes, bunches) = count(&s.sketches);
+                (1, nodes, bunches)
+            }
+            StoredSketches::Degrading(s) => {
+                let nodes = s.layers.first().map_or(0, |l| l.sketches.len());
+                let bunches = s.layers.iter().map(|l| count(&l.sketches).1).sum();
+                (s.layers.len(), nodes, bunches)
+            }
+        }
+    }
+
     /// Decode the family payload, dispatching on the stored scheme spec.
     pub fn decode_payload(spec: &SchemeSpec, bytes: &[u8]) -> Result<Self, StoreError> {
         let wrap = |source| StoreError::Codec {
@@ -316,6 +343,57 @@ pub fn build_and_save_from_edge_list<P: AsRef<Path>, Q: AsRef<Path>>(
     Ok((graph, contents, bytes))
 }
 
+/// What one section's payload decodes to — the "entities" column of
+/// `dsketch-store inspect`.  Byte lengths say how big a section is;
+/// this says what is *in* it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SectionEntities {
+    /// The `SKCH` family payload: decoded sketch counts.
+    Sketches {
+        /// Sketch layers (`1` for the single-layer families, the layer
+        /// count for the gracefully degrading scheme).
+        layers: usize,
+        /// Nodes covered (per layer).
+        nodes: usize,
+        /// Total bunch entries across every sketch of every layer.
+        bunch_entries: usize,
+    },
+    /// The `STAT` section: decoded construction-cost records.
+    BuildStats {
+        /// Number of decoded [`RunStats`] records.
+        records: usize,
+    },
+    /// A section this inspector does not decode (the forward-compat
+    /// carry path for unknown ids).
+    Opaque,
+}
+
+impl std::fmt::Display for SectionEntities {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SectionEntities::Sketches {
+                layers,
+                nodes,
+                bunch_entries,
+            } if *layers == 1 => {
+                write!(f, "{nodes} nodes, {bunch_entries} bunch entries")
+            }
+            SectionEntities::Sketches {
+                layers,
+                nodes,
+                bunch_entries,
+            } => write!(
+                f,
+                "{layers} layers × {nodes} nodes, {bunch_entries} bunch entries"
+            ),
+            SectionEntities::BuildStats { records } => {
+                write!(f, "{records} build-stats record")
+            }
+            SectionEntities::Opaque => write!(f, "(not decoded)"),
+        }
+    }
+}
+
 /// A decoded header summary: what `dsketch-store inspect` prints.
 #[derive(Debug, Clone)]
 pub struct SnapshotSummary {
@@ -327,6 +405,8 @@ pub struct SnapshotSummary {
     pub fingerprint: GraphFingerprint,
     /// The section table.
     pub sections: Vec<SectionEntry>,
+    /// What each section's payload decodes to, parallel to `sections`.
+    pub section_entities: Vec<SectionEntities>,
     /// Total snapshot size in bytes.
     pub total_bytes: u64,
     /// Nodes covered by the sketches.
@@ -350,11 +430,29 @@ pub fn inspect_snapshot<P: AsRef<Path>>(path: P) -> Result<SnapshotSummary, Stor
     let total_bytes = raw.total_bytes();
     let contents = decode_raw(raw)?;
     let oracle = contents.sketches.as_oracle();
+    let section_entities = sections
+        .iter()
+        .map(|entry| match entry.id {
+            SECTION_SKETCHES => {
+                let (layers, nodes, bunch_entries) = contents.sketches.entity_counts();
+                SectionEntities::Sketches {
+                    layers,
+                    nodes,
+                    bunch_entries,
+                }
+            }
+            SECTION_BUILD_STATS => SectionEntities::BuildStats {
+                records: usize::from(contents.build_stats.is_some()),
+            },
+            _ => SectionEntities::Opaque,
+        })
+        .collect();
     Ok(SnapshotSummary {
         version,
         spec: contents.spec,
         fingerprint: contents.fingerprint,
         sections,
+        section_entities,
         total_bytes,
         num_nodes: oracle.num_nodes(),
         max_words: oracle.max_words(),
@@ -509,6 +607,24 @@ mod tests {
         assert_eq!(summary.num_nodes, 48);
         assert!(summary.max_words > 0);
         assert_eq!(summary.sections.len(), 2, "SKCH + STAT");
+        // The entities column decodes what is *in* each section, not just
+        // how many bytes it holds.
+        assert!(
+            matches!(
+                summary.section_entities[0],
+                SectionEntities::Sketches {
+                    layers: 1,
+                    nodes: 48,
+                    bunch_entries
+                } if bunch_entries > 0
+            ),
+            "{:?}",
+            summary.section_entities[0]
+        );
+        assert_eq!(
+            summary.section_entities[1],
+            SectionEntities::BuildStats { records: 1 }
+        );
         assert!(summary.build_stats.unwrap().rounds > 0);
         assert_eq!(summary.total_bytes, std::fs::metadata(&path).unwrap().len());
         std::fs::remove_file(&path).ok();

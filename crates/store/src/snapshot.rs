@@ -11,6 +11,7 @@
 use crate::crc32::crc32;
 use crate::error::StoreError;
 use crate::format::{Header, SectionEntry, SectionId, FORMAT_VERSION};
+use dsketch::cast;
 use dsketch::SchemeSpec;
 use netgraph::GraphFingerprint;
 use std::io::{Read, Write};
@@ -50,10 +51,10 @@ impl SnapshotWriter {
             entries.push(SectionEntry {
                 id: *id,
                 offset,
-                len: payload.len() as u64,
+                len: cast::u64_from_usize(payload.len()),
                 crc: crc32(payload),
             });
-            offset += payload.len() as u64;
+            offset += cast::u64_from_usize(payload.len());
         }
         let header = Header {
             version: FORMAT_VERSION,
@@ -61,13 +62,13 @@ impl SnapshotWriter {
             fingerprint: self.fingerprint,
             sections: entries,
         };
-        let header_bytes = header.to_bytes();
+        let header_bytes = header.to_bytes()?;
         writer.write_all(&header_bytes)?;
         for (_, payload) in &self.sections {
             writer.write_all(payload)?;
         }
         writer.flush()?;
-        Ok(header_bytes.len() as u64 + offset)
+        Ok(cast::u64_from_usize(header_bytes.len()) + offset)
     }
 }
 
@@ -106,10 +107,18 @@ impl RawSnapshot {
     /// sections are simply never asked for — that is the forward-compat
     /// path: a newer writer's extra sections are carried and ignored.
     pub fn section(&self, id: SectionId) -> Option<&[u8]> {
-        self.header.sections.iter().find(|s| s.id == id).map(|s| {
-            let lo = s.offset as usize;
-            &self.payload[lo..lo + s.len as usize]
-        })
+        self.header
+            .sections
+            .iter()
+            .find(|s| s.id == id)
+            .and_then(|s| {
+                // Offsets were range-checked against the payload when the
+                // snapshot was read, so the `?`s below never fire in practice;
+                // they just make that a local fact instead of a panic site.
+                let lo = cast::to_usize(s.offset).ok()?;
+                let len = cast::to_usize(s.len).ok()?;
+                self.payload.get(lo..lo.checked_add(len)?)
+            })
     }
 
     /// Like [`RawSnapshot::section`] but a [`StoreError::MissingSection`]
@@ -141,18 +150,26 @@ impl<R: Read> SnapshotReader<R> {
         // Check magic and version *before* trusting the header length, so a
         // non-snapshot file fails as "not a snapshot", not as a huge
         // garbage-length read.
-        let magic: [u8; 4] = prelude[0..4].try_into().expect("4 bytes");
+        // A [u8; 12] prelude always splits into three 4-byte fields; the
+        // array constructors below make that a type-level fact instead of
+        // a panicking slice conversion.
+        let magic = [prelude[0], prelude[1], prelude[2], prelude[3]];
         if magic != crate::format::MAGIC {
             return Err(StoreError::BadMagic { found: magic });
         }
-        let version = u32::from_le_bytes(prelude[4..8].try_into().expect("4 bytes"));
+        let version = u32::from_le_bytes([prelude[4], prelude[5], prelude[6], prelude[7]]);
         if version > crate::format::FORMAT_VERSION {
             return Err(StoreError::UnsupportedVersion {
                 found: version,
                 supported: crate::format::FORMAT_VERSION,
             });
         }
-        let header_len = u32::from_le_bytes(prelude[8..12].try_into().expect("4 bytes")) as usize;
+        let header_len = cast::usize_from_u32(u32::from_le_bytes([
+            prelude[8],
+            prelude[9],
+            prelude[10],
+            prelude[11],
+        ]));
         // Same streaming discipline as the payload below: never allocate
         // the untrusted declared length up front.  A crafted prelude
         // claiming a ~4 GiB header costs only as much memory as the stream
@@ -160,7 +177,7 @@ impl<R: Read> SnapshotReader<R> {
         let mut block = Vec::new();
         self.inner
             .by_ref()
-            .take(header_len as u64)
+            .take(cast::u64_from_usize(header_len))
             .read_to_end(&mut block)?;
         if block.len() < header_len {
             return Err(StoreError::Truncated { context: "header" });
@@ -180,15 +197,24 @@ impl<R: Read> SnapshotReader<R> {
             .by_ref()
             .take(payload_len)
             .read_to_end(&mut payload)?;
-        if (payload.len() as u64) < payload_len {
+        if cast::u64_from_usize(payload.len()) < payload_len {
             return Err(StoreError::Truncated {
                 context: "section payload",
             });
         }
 
         for entry in &header.sections {
-            let lo = entry.offset as usize;
-            let bytes = &payload[lo..lo + entry.len as usize];
+            let malformed = |what: &str| StoreError::MalformedSectionTable {
+                message: format!("section {} {what}", entry.id),
+            };
+            let lo = cast::to_usize(entry.offset).map_err(|_| malformed("offset overflows"))?;
+            let len = cast::to_usize(entry.len).map_err(|_| malformed("length overflows"))?;
+            let hi = lo
+                .checked_add(len)
+                .ok_or_else(|| malformed("extent overflows"))?;
+            let bytes = payload
+                .get(lo..hi)
+                .ok_or_else(|| malformed("extent exceeds payload"))?;
             let actual = crc32(bytes);
             if actual != entry.crc {
                 return Err(StoreError::SectionChecksumMismatch {
@@ -200,7 +226,7 @@ impl<R: Read> SnapshotReader<R> {
         }
 
         Ok(RawSnapshot {
-            total_bytes: 12 + header_len as u64 + payload_len,
+            total_bytes: 12 + cast::u64_from_usize(header_len) + payload_len,
             header,
             payload,
         })
@@ -342,7 +368,7 @@ mod tests {
                 crc: 0,
             }],
         };
-        let bytes = header.to_bytes();
+        let bytes = header.to_bytes().unwrap();
         let err = SnapshotReader::new(bytes.as_slice()).read().unwrap_err();
         assert!(
             matches!(

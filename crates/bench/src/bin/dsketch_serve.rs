@@ -22,10 +22,18 @@
 //! paper-faithful simulation and reports its round/message cost) and
 //! `--frozen true|false` (default `true`: serve from the flat CSR label
 //! layout; `false` serves the `BTreeMap`-backed sketches, for comparison).
+//!
+//! With `--listen HOST:PORT` the binary serves the sketch over TCP instead
+//! of replaying local traffic: the length-prefixed binary protocol (drive
+//! it with `dsketch-loadgen`) and a minimal HTTP endpoint
+//! (`GET /distance?u=..&v=..`, `GET /stats` — `curl` works) share the one
+//! port.  `--serve-seconds N` stops the server after a graceful drain
+//! (default 0: serve until killed); `--net-workers N` sets the concurrent
+//! connection bound (default 4).
 
 use dsketch::prelude::*;
 use dsketch_bench::workloads::{QueryWorkload, Workload, WorkloadSpec};
-use dsketch_bench::{arg_engine, arg_frozen, arg_parse_or_exit, arg_value, Table};
+use dsketch_bench::{arg_engine, arg_frozen, arg_parse_or_exit, arg_value, serve_network, Table};
 use dsketch_serve::{ServeConfig, SketchServer};
 use std::sync::Arc;
 use std::time::Instant;
@@ -134,6 +142,12 @@ fn main() {
         queue_depth: queue,
         cache_capacity: cache,
     };
+
+    if let Some(listen) = arg_value(&args, "listen") {
+        let serve_seconds: u64 = arg_parse_or_exit(&args, "serve-seconds", 0);
+        let net_workers: usize = arg_parse_or_exit(&args, "net-workers", 4);
+        serve_network(oracle, config, net_workers, &listen, serve_seconds);
+    }
     println!(
         "server: {} shards, queue depth {}, per-shard LRU cache {} entries\n",
         config.shards, config.queue_depth, config.cache_capacity

@@ -37,7 +37,10 @@
 //! with `--nodes N`; plus `--seed N`, `--threads N` (parallel engine worker
 //! count, 0 = all cores) and `--engine parallel|congest` (default
 //! `parallel`).  `serve` flags: `--snapshot`, `--queries`, `--shards`,
-//! `--batch`, `--cache`, `--workload`, `--seed`, `--frozen true|false`.
+//! `--batch`, `--cache`, `--workload`, `--seed`, `--frozen true|false`;
+//! with `--listen HOST:PORT` (plus `--serve-seconds N`, `--net-workers N`)
+//! the cold-started server is exposed over TCP — binary protocol and HTTP
+//! on one port — instead of replaying a local workload.
 //! `query` and `serve` both default to `--frozen true`: the snapshot's
 //! label bytes are materialized straight into the flat CSR layout
 //! (`dsketch::flat::FlatSketchSet`) without rebuilding any `BTreeMap`;
@@ -46,7 +49,7 @@
 
 use dsketch::prelude::*;
 use dsketch_bench::workloads::{QueryWorkload, Workload, WorkloadSpec};
-use dsketch_bench::{arg_engine, arg_frozen, arg_parse_or_exit, arg_value, Table};
+use dsketch_bench::{arg_engine, arg_frozen, arg_parse_or_exit, arg_value, serve_network, Table};
 use dsketch_serve::{ServeConfig, SketchServer};
 use dsketch_store::{
     build_and_save, build_and_save_from_edge_list, inspect_snapshot, load_frozen_oracle,
@@ -72,7 +75,8 @@ fn usage() -> ! {
          verify  --snapshot FILE\n\
          query   --snapshot FILE --u NODE --v NODE [--frozen true|false]\n\
          serve   --snapshot FILE [--queries N] [--shards N] [--batch N] [--cache N]\n\
-         \u{20}        [--workload uniform|hotspot|adversarial] [--seed N] [--frozen true|false]"
+         \u{20}        [--workload uniform|hotspot|adversarial] [--seed N] [--frozen true|false]\n\
+         \u{20}        [--listen HOST:PORT [--serve-seconds N] [--net-workers N]]"
     );
     std::process::exit(2);
 }
@@ -298,6 +302,26 @@ fn cmd_serve(args: &[String]) {
         std::process::exit(1);
     });
     let num_nodes = oracle.num_nodes();
+
+    // `--listen` turns the cold-started server into a network service
+    // instead of a local replay: the paper's standby-server story end to
+    // end (snapshot on disk → serving sockets, no construction rounds).
+    if let Some(listen) = arg_value(args, "listen") {
+        let serve_seconds: u64 = arg_parse_or_exit(args, "serve-seconds", 0);
+        let net_workers: usize = arg_parse_or_exit(args, "net-workers", 4);
+        println!(
+            "cold-started from {path} in {:.1} ms; exposing it on the network",
+            load_started.elapsed().as_secs_f64() * 1e3
+        );
+        serve_network(
+            Arc::from(oracle),
+            config,
+            net_workers,
+            &listen,
+            serve_seconds,
+        );
+    }
+
     let server = SketchServer::start(Arc::from(oracle), config).unwrap_or_else(|e| {
         eprintln!("cold start failed: {e}");
         std::process::exit(1);

@@ -19,9 +19,10 @@ use netgraph::{Graph, NodeId};
 /// layer built on top of it, `e13` the snapshot persistence layer under
 /// it, `e14` the parallel construction engine's thread scaling, `e15` the
 /// frozen flat query path's single-thread throughput vs the `BTreeMap`
-/// path).
-pub const EXPERIMENT_IDS: [&str; 15] = [
+/// path, `e16` the network front end's loopback answer identity).
+pub const EXPERIMENT_IDS: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 /// The output of one experiment.
@@ -68,6 +69,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentResult> {
         "e13" => Some(e13_snapshot_cold_start(quick)),
         "e14" => Some(e14_parallel_build_scaling(quick)),
         "e15" => Some(e15_flat_query_throughput(quick)),
+        "e16" => Some(e16_net_front_end(quick)),
         _ => None,
     }
 }
@@ -1053,6 +1055,140 @@ fn e15_flat_query_throughput(quick: bool) -> ExperimentResult {
     }
 }
 
+/// E16 — the network front end: wire answers vs direct oracle calls.
+///
+/// Builds each scheme family, starts the TCP server ([`dsketch_serve::net`])
+/// on a loopback port, and drives the same query stream three ways — direct
+/// oracle calls, single-query frames, and batched frames — plus a handful
+/// of `GET /distance` HTTP requests.  The load-bearing columns are the two
+/// identity checks: every wire answer (and every typed wire error) must
+/// match the direct call exactly, or serving over the network would change
+/// the scheme's semantics.
+fn e16_net_front_end(quick: bool) -> ExperimentResult {
+    use crate::workloads::QueryWorkload;
+    use dsketch_serve::{NetClient, NetConfig, NetServer, ServeConfig};
+    use std::io::{Read, Write};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    /// One HTTP exchange against the same port the binary protocol uses.
+    fn http_get(addr: &str, path: &str) -> String {
+        let mut stream = std::net::TcpStream::connect(addr).expect("http connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("socket timeout");
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nhost: dsketch\r\nconnection: close\r\n\r\n"
+        )
+        .expect("http write");
+        let mut body = String::new();
+        stream.read_to_string(&mut body).expect("http read");
+        body
+    }
+
+    let n = if quick { 96 } else { 256 };
+    let queries = if quick { 600 } else { 5_000 };
+    let singles = if quick { 128 } else { 512 };
+    let mut table = Table::new(&[
+        "scheme",
+        "n",
+        "queries",
+        "wire=direct",
+        "http=direct",
+        "typed errors",
+        "protocol errors",
+        "p50 µs",
+        "p99 µs",
+    ]);
+    let graph = WorkloadSpec::new(Workload::ErdosRenyi, n, 42).build();
+    for scheme in SchemeSpec::all_families() {
+        let outcome = SketchBuilder::new(scheme)
+            .seed(13)
+            .build(&graph)
+            .expect("scheme construction");
+        let oracle: Arc<dyn dsketch::DistanceOracle> = Arc::from(outcome.sketches);
+        let server = NetServer::start(
+            Arc::clone(&oracle),
+            ServeConfig::default(),
+            NetConfig::default(),
+            "127.0.0.1:0",
+        )
+        .expect("net server start");
+        let addr = server.local_addr().to_string();
+        let mut client = NetClient::connect(&addr, Duration::from_secs(10)).expect("connect");
+        let pairs = QueryWorkload::Uniform.generate(n, queries, 7);
+
+        let mut wire_identical = true;
+        let mut typed_errors = 0u64;
+        let singles = pairs.len().min(singles);
+        let mut latencies = Vec::with_capacity(singles);
+        for &(u, v) in &pairs[..singles] {
+            let started = Instant::now();
+            let wire = client.query(u, v).expect("transport");
+            latencies.push(started.elapsed().as_nanos() as u64);
+            match (wire, oracle.estimate(u, v)) {
+                (Ok(w), Ok(d)) if w == d => {}
+                (Err(_), Err(_)) => typed_errors += 1,
+                _ => wire_identical = false,
+            }
+        }
+        for chunk in pairs[singles..].chunks(64) {
+            let wire = client.query_batch(chunk).expect("transport");
+            assert_eq!(wire.len(), chunk.len(), "one answer slot per pair");
+            for (w, d) in wire.iter().zip(oracle.estimate_batch(chunk)) {
+                match (w, d) {
+                    (Ok(w), Ok(d)) if *w == d => {}
+                    (Err(_), Err(_)) => typed_errors += 1,
+                    _ => wire_identical = false,
+                }
+            }
+        }
+
+        let mut http_identical = true;
+        for &(u, v) in pairs.iter().take(8) {
+            let response = http_get(&addr, &format!("/distance?u={}&v={}", u.0, v.0));
+            let matched = match oracle.estimate(u, v) {
+                Ok(d) => response.contains(&format!("\"distance\":{d}")),
+                Err(_) => response.contains("\"error\""),
+            };
+            if !matched {
+                http_identical = false;
+            }
+        }
+        let stats_doc = http_get(&addr, "/stats");
+        if !stats_doc.contains(&format!("\"num_nodes\":{n}")) {
+            http_identical = false;
+        }
+
+        drop(client);
+        let stats = server.shutdown();
+        let p50 = crate::percentile_nanos(&mut latencies, 50.0);
+        let p99 = crate::percentile_nanos(&mut latencies, 99.0);
+        table.push(vec![
+            scheme.to_string(),
+            n.to_string(),
+            queries.to_string(),
+            if wire_identical { "yes" } else { "NO" }.to_string(),
+            if http_identical { "yes" } else { "NO" }.to_string(),
+            typed_errors.to_string(),
+            stats.net.protocol_errors.to_string(),
+            format!("{:.1}", p50 as f64 / 1e3),
+            format!("{:.1}", p99 as f64 / 1e3),
+        ]);
+    }
+    ExperimentResult {
+        id: "e16",
+        title: "Network front end: loopback wire answers vs direct oracle calls",
+        claim: "once sketches are built, any node answers queries from two labels with no \
+                further communication (Section 2.1) — so a network hop in front of the \
+                oracle can relay answers but never change them: every wire answer and \
+                every typed wire error must equal the direct call, over every scheme \
+                family and both frame shapes",
+        table,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1156,6 +1292,22 @@ mod tests {
         assert!(json.contains("\"mode\": \"quick\""));
         assert!(json.contains("\"flat_qps\""));
         assert!(!json.contains("\"identical\": false"), "{json}");
+    }
+
+    #[test]
+    fn e16_quick_serves_wire_answers_identical_to_direct_calls() {
+        let result = run_experiment("e16", true).unwrap();
+        assert_eq!(result.id, "e16");
+        // One row per scheme family.
+        assert_eq!(result.table.len(), 4);
+        for row in &result.table.rows {
+            assert_eq!(row[3], "yes", "wire answers must equal direct: {row:?}");
+            assert_eq!(row[4], "yes", "http answers must equal direct: {row:?}");
+            assert_eq!(
+                row[6], "0",
+                "clean clients cause no protocol errors: {row:?}"
+            );
+        }
     }
 
     #[test]

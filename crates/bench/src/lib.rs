@@ -26,6 +26,67 @@ pub use experiments::{run_experiment, ExperimentResult, EXPERIMENT_IDS};
 pub use table::Table;
 pub use workloads::{QueryWorkload, Workload, WorkloadSpec};
 
+/// Serve `oracle` on `listen` over TCP until `serve_seconds` elapses
+/// (0 = forever), then drain gracefully, print the final wire + dispatch
+/// counters, and exit the process.
+///
+/// The shared tail of `dsketch-serve --listen` and `dsketch-store serve
+/// --listen`: both build/load an oracle their own way, then hand it here.
+/// Exit code 0 after a timed run, 1 when the listener cannot bind.
+pub fn serve_network(
+    oracle: std::sync::Arc<dyn dsketch::DistanceOracle>,
+    config: dsketch_serve::ServeConfig,
+    net_workers: usize,
+    listen: &str,
+    serve_seconds: u64,
+) -> ! {
+    use dsketch_serve::{NetConfig, NetServer};
+    let net_workers = net_workers.max(1);
+    let server = NetServer::start(
+        oracle,
+        config,
+        NetConfig::default().with_workers(net_workers),
+        listen,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot listen on {listen}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "listening on {} — binary NETQ protocol + HTTP/1.1 (GET /distance?u=..&v=.., \
+         GET /stats) on one port, {net_workers} connection workers",
+        server.local_addr(),
+    );
+    if serve_seconds == 0 {
+        println!("serving until killed (pass --serve-seconds N for a timed run)");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    println!("serving for {serve_seconds}s…");
+    std::thread::sleep(std::time::Duration::from_secs(serve_seconds));
+    let stats = server.shutdown();
+    println!("drained and stopped.\n{stats}");
+    std::process::exit(0);
+}
+
+/// Nearest-rank percentile over raw latency samples, `p` in `[0, 100]`.
+///
+/// Sorts `samples` in place and returns the value at the ceiling rank, the
+/// convention loadgen reports (`p50`/`p95`/`p99` of per-request nanoseconds):
+/// conservative (never interpolates below an observed sample) and exact for
+/// the small sample counts a smoke run produces.  Returns 0 for an empty
+/// slice.
+pub fn percentile_nanos(samples: &mut [u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.max(1) - 1]
+}
+
 /// Look up a `--name value` style flag in raw `std::env::args` output
 /// (shared by the `dsketch-serve` / `dsketch-store` binaries).
 pub fn arg_value(args: &[String], name: &str) -> Option<String> {
@@ -103,6 +164,25 @@ mod tests {
         assert_eq!(arg_parse(&args, "nodes", 7usize), 128);
         assert_eq!(arg_parse(&args, "bad", 7usize), 7);
         assert_eq!(arg_parse(&args, "missing", 7usize), 7);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut empty: [u64; 0] = [];
+        assert_eq!(percentile_nanos(&mut empty, 50.0), 0);
+        let mut one = [7u64];
+        assert_eq!(percentile_nanos(&mut one, 0.0), 7);
+        assert_eq!(percentile_nanos(&mut one, 100.0), 7);
+        // 1..=100 shuffled: pX is exactly X.
+        let mut hundred: Vec<u64> = (1..=100).rev().collect();
+        assert_eq!(percentile_nanos(&mut hundred, 50.0), 50);
+        assert_eq!(percentile_nanos(&mut hundred, 95.0), 95);
+        assert_eq!(percentile_nanos(&mut hundred, 99.0), 99);
+        assert_eq!(percentile_nanos(&mut hundred, 100.0), 100);
+        let mut four = [10u64, 20, 30, 40];
+        assert_eq!(percentile_nanos(&mut four, 50.0), 20);
+        assert_eq!(percentile_nanos(&mut four, 75.0), 30);
+        assert_eq!(percentile_nanos(&mut four, 76.0), 40);
     }
 
     #[test]

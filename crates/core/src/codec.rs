@@ -149,6 +149,14 @@ impl Encoder {
         self.put_u8(crate::cast::u8_from_bool(v));
     }
 
+    /// Append a length-prefixed byte string (`u64` length, then the raw
+    /// bytes) — the encoding the network protocol uses for error details
+    /// and JSON payloads.
+    pub fn put_byte_string(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
     /// Bytes encoded so far.
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -281,6 +289,15 @@ impl<'a> Decoder<'a> {
             });
         }
         Ok(count)
+    }
+
+    /// Read a length-prefixed byte string written by
+    /// [`Encoder::put_byte_string`]: a `u64` length, then that many raw
+    /// bytes.  The length is bounds-checked against the remaining payload
+    /// before any allocation.
+    pub fn byte_string(&mut self, context: &'static str) -> Result<Vec<u8>, CodecError> {
+        let len = self.len_prefix(1, context)?;
+        Ok(self.take(len, context)?.to_vec())
     }
 
     /// Unconsumed bytes.

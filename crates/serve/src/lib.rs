@@ -29,6 +29,10 @@
 //!   aggregate [`ServeStats`] (queries, cache hits/misses, errors, service
 //!   latency) at any time, mirroring how the construction side reports
 //!   `RunStats` per build.
+//! * **Network front end** — [`net::NetServer`] binds a `TcpListener` over
+//!   the same router and serves a length-prefixed binary protocol plus a
+//!   minimal HTTP/1.1 endpoint on one port, with whole-frame read
+//!   deadlines and a graceful drain on shutdown (see [`net`]).
 //! * **Cold start from disk** — [`SketchServer::from_snapshot`] boots a
 //!   server straight from a `dsketch-store` snapshot (`DSK1` file), so a
 //!   restarted or standby server skips the CONGEST construction entirely
@@ -76,11 +80,13 @@
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod net;
 mod server;
 mod stats;
 
+pub use net::{NetClient, NetConfig, NetServer, NetServerStats, NetStartError};
 pub use server::{ServeClient, ServeConfig, SketchServer};
-pub use stats::{ServeStats, ShardStats};
+pub use stats::{NetStats, ServeStats, ShardStats};
 
 // Re-exported so downstream code can name the trait and error type without
 // an extra dsketch import.

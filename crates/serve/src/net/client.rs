@@ -1,0 +1,111 @@
+//! A blocking client for the binary `NETQ`/`NETR` protocol.
+//!
+//! One [`NetClient`] owns one TCP connection and speaks strict
+//! request–response, mirroring the server's session loop.  The loadgen
+//! binary opens one client per simulated connection; tests use it to
+//! compare wire answers against the in-process oracle byte for byte.
+
+use super::protocol::{
+    NetError, Request, Response, WireError, DEFAULT_MAX_PAYLOAD, RESPONSE_MAGIC,
+};
+use super::wire::{self, ReadOutcome};
+use netgraph::{Distance, NodeId};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A connected wire client.
+pub struct NetClient {
+    stream: TcpStream,
+    timeout: Duration,
+}
+
+impl NetClient {
+    /// Connect to `addr` (e.g. `"127.0.0.1:7421"`) with a single timeout
+    /// governing connect, each whole-frame read, and each write.
+    pub fn connect(addr: &str, timeout: Duration) -> Result<NetClient, NetError> {
+        let mut last = NetError::Io(std::io::ErrorKind::AddrNotAvailable);
+        for addr in
+            std::net::ToSocketAddrs::to_socket_addrs(addr).map_err(|e| NetError::Io(e.kind()))?
+        {
+            match TcpStream::connect_timeout(&addr, timeout) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    return Ok(NetClient { stream, timeout });
+                }
+                Err(e) => last = NetError::Io(e.kind()),
+            }
+        }
+        Err(last)
+    }
+
+    /// Send one request frame and wait for its response frame.
+    pub fn round_trip(&mut self, request: &Request) -> Result<Response, NetError> {
+        wire::write_all_deadline(&self.stream, &request.to_frame(), self.timeout)?;
+        let deadline = Instant::now() + self.timeout;
+        match wire::read_frame(
+            &self.stream,
+            RESPONSE_MAGIC,
+            DEFAULT_MAX_PAYLOAD,
+            deadline,
+            None,
+        )? {
+            ReadOutcome::Frame(header, payload) => Response::decode(header.kind, &payload),
+            ReadOutcome::Closed => Err(NetError::Truncated { read: 0, needed: 1 }),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// One distance query.  A typed server-side failure (unknown node, no
+    /// common landmark) arrives as `Ok(Err(_))`; transport problems as
+    /// `Err(_)`.
+    pub fn query(&mut self, u: NodeId, v: NodeId) -> Result<Result<Distance, WireError>, NetError> {
+        match self.round_trip(&Request::Query { u, v })? {
+            Response::Distance(d) => Ok(Ok(d)),
+            Response::Error(e) => Ok(Err(e)),
+            other => Err(unexpected("distance", &other)),
+        }
+    }
+
+    /// A batched query; the server answers in input order, one slot per
+    /// pair.
+    #[allow(clippy::type_complexity)]
+    pub fn query_batch(
+        &mut self,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Result<Vec<Result<Distance, WireError>>, NetError> {
+        match self.round_trip(&Request::QueryBatch {
+            pairs: pairs.to_vec(),
+        })? {
+            Response::Batch(results) => Ok(results),
+            Response::Error(e) => Err(NetError::Server(e)),
+            other => Err(unexpected("batch", &other)),
+        }
+    }
+
+    /// Fetch the server's stats JSON document.
+    pub fn stats_json(&mut self) -> Result<String, NetError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(json) => Ok(json),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// The underlying stream (tests use this to misbehave on purpose).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}
+
+fn unexpected(expected: &'static str, got: &Response) -> NetError {
+    NetError::UnexpectedResponse {
+        expected,
+        got: got.kind_name(),
+    }
+}

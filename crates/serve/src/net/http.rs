@@ -1,0 +1,311 @@
+//! A minimal hand-parsed HTTP/1.1 endpoint sharing the shard router.
+//!
+//! Two routes, both `GET`, both answering JSON and closing the
+//! connection (`Connection: close`; one request per connection keeps the
+//! worker-per-connection model honest):
+//!
+//! * `GET /distance?u=<id>&v=<id>` — one distance estimate,
+//!   `{"u":…,"v":…,"distance":…,"scheme":"…"}` on success.
+//! * `GET /stats` — the same JSON counters document the binary stats
+//!   frame carries.
+//!
+//! Errors map onto conventional status codes: an unparsable request line
+//! or missing/garbled parameters is `400`, an unknown node is `404`, a
+//! pair with no common landmark is `422`, a non-`GET` method is `405`,
+//! an unknown path is `404`, an oversized request head is `431`, and
+//! anything else server-side is `500`.  Every error body is
+//! `{"error":"<kebab-case class>","detail":"…"}`.
+//!
+//! The parser is deliberately tiny: request line + headers up to
+//! `\r\n\r\n` (bounded at 8 KiB), no bodies, no chunked encoding, no
+//! keep-alive.  It exists so `curl` and dashboards can hit the server
+//! without a client binary — the binary protocol is the real interface.
+
+use super::protocol::WireErrorCode;
+use super::server::WorkerCtx;
+use super::wire;
+use crate::stats::NetCounters;
+use dsketch::SketchError;
+use netgraph::NodeId;
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Serve one HTTP exchange on a freshly sniffed connection, then return
+/// (the caller closes the socket).
+pub(super) fn http_session(stream: &TcpStream, ctx: &WorkerCtx) {
+    let counters = ctx.counters();
+    let head = match read_request_head(stream, ctx, counters) {
+        Some(head) => head,
+        None => return,
+    };
+    let reply = match parse_request_line(&head) {
+        Ok(target) => {
+            counters.http_requests.fetch_add(1, Ordering::Relaxed);
+            route(&target, ctx)
+        }
+        Err(reply) => {
+            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            reply
+        }
+    };
+    write_reply(stream, &reply, ctx, counters);
+}
+
+/// Read until the blank line ending the request head, the size bound, the
+/// deadline, or EOF.  Returns `None` when nothing useful arrived (the
+/// reply, if any, has already been written).
+fn read_request_head(
+    stream: &TcpStream,
+    ctx: &WorkerCtx,
+    counters: &NetCounters,
+) -> Option<Vec<u8>> {
+    let deadline = Instant::now() + ctx.read_timeout();
+    let mut head = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    loop {
+        if head.windows(4).any(|w| w == b"\r\n\r\n") {
+            return Some(head);
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let reply = error_reply(431, "request-too-large", "request head exceeds 8 KiB");
+            write_reply(stream, &reply, ctx, counters);
+            return None;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let slice = (deadline - now)
+            .min(std::time::Duration::from_millis(50))
+            .max(std::time::Duration::from_millis(1));
+        if stream.set_read_timeout(Some(slice)).is_err() {
+            return None;
+        }
+        match (&mut (&*stream)).read(&mut chunk) {
+            Ok(0) => {
+                // EOF before a complete head: a garbage or truncated
+                // request.  Anything counts once as a protocol error.
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if ctx.shutdown_flag().load(Ordering::Relaxed) && head.is_empty() {
+                    return None;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Pull the request target out of the first line, or produce the full
+/// error reply for a malformed one.
+fn parse_request_line(head: &[u8]) -> Result<String, String> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| error_reply(400, "bad-request", "request line is not UTF-8"))?;
+    let line = text
+        .lines()
+        .next()
+        .ok_or_else(|| error_reply(400, "bad-request", "empty request"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| error_reply(400, "bad-request", "missing method"))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| error_reply(400, "bad-request", "missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| error_reply(400, "bad-request", "missing HTTP version"))?;
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(error_reply(400, "bad-request", "malformed request line"));
+    }
+    if method != "GET" {
+        return Err(error_reply(
+            405,
+            "method-not-allowed",
+            "only GET is supported",
+        ));
+    }
+    Ok(target.to_string())
+}
+
+/// Dispatch a parsed request target to its route.
+fn route(target: &str, ctx: &WorkerCtx) -> String {
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    };
+    match path {
+        "/distance" => distance_route(query, ctx),
+        "/stats" => json_reply(200, &ctx.stats_document()),
+        _ => error_reply(404, "not-found", "unknown path (try /distance or /stats)"),
+    }
+}
+
+/// `GET /distance?u=..&v=..`
+fn distance_route(query: &str, ctx: &WorkerCtx) -> String {
+    let (mut u, mut v) = (None, None);
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = match pair.split_once('=') {
+            Some(kv) => kv,
+            None => return error_reply(400, "bad-request", "parameters must be key=value"),
+        };
+        let parsed: u32 = match value.parse() {
+            Ok(id) => id,
+            Err(_) => {
+                return error_reply(
+                    400,
+                    "bad-request",
+                    format!("'{value}' is not a node id (expected a u32)"),
+                )
+            }
+        };
+        match key {
+            "u" => u = Some(NodeId(parsed)),
+            "v" => v = Some(NodeId(parsed)),
+            _ => return error_reply(400, "bad-request", format!("unknown parameter '{key}'")),
+        }
+    }
+    let (u, v) = match (u, v) {
+        (Some(u), Some(v)) => (u, v),
+        _ => return error_reply(400, "bad-request", "both u= and v= are required"),
+    };
+    match ctx.query(u, v) {
+        Ok(distance) => json_reply(
+            200,
+            &format!(
+                "{{\"u\":{},\"v\":{},\"distance\":{},\"scheme\":\"{}\"}}",
+                u.0,
+                v.0,
+                distance,
+                ctx.scheme_name()
+            ),
+        ),
+        Err(e) => {
+            let (status, code) = match &e {
+                SketchError::UnknownNode(_) => (404, WireErrorCode::UnknownNode),
+                SketchError::NoCommonLandmark { .. } => (422, WireErrorCode::NoCommonLandmark),
+                _ => (500, WireErrorCode::Internal),
+            };
+            error_reply(status, code.name(), e.to_string())
+        }
+    }
+}
+
+/// Build a complete HTTP response with a JSON body.
+fn json_reply(status: u16, body: &str) -> String {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        _ => "Internal Server Error",
+    };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// Build an error response with the standard `{"error":…,"detail":…}` body.
+fn error_reply(status: u16, code: &str, detail: impl AsRef<str>) -> String {
+    json_reply(
+        status,
+        &format!(
+            "{{\"error\":\"{code}\",\"detail\":\"{}\"}}",
+            json_escape(detail.as_ref())
+        ),
+    )
+}
+
+/// Escape a detail string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write a reply, charging the byte counters.
+fn write_reply(stream: &TcpStream, reply: &str, ctx: &WorkerCtx, counters: &NetCounters) {
+    match wire::write_all_deadline(stream, reply.as_bytes(), ctx.read_timeout()) {
+        Ok(written) => {
+            counters
+                .bytes_out
+                .fetch_add(written as u64, Ordering::Relaxed);
+        }
+        Err(super::protocol::NetError::Timeout) => {
+            counters.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parses_and_rejects() {
+        assert_eq!(
+            parse_request_line(b"GET /stats HTTP/1.1\r\n\r\n"),
+            Ok("/stats".to_string())
+        );
+        assert_eq!(
+            parse_request_line(b"GET /distance?u=1&v=2 HTTP/1.0\r\nhost: x\r\n\r\n"),
+            Ok("/distance?u=1&v=2".to_string())
+        );
+        assert!(parse_request_line(b"POST /stats HTTP/1.1\r\n\r\n")
+            .unwrap_err()
+            .starts_with("HTTP/1.1 405"));
+        assert!(parse_request_line(b"\r\n\r\n")
+            .unwrap_err()
+            .starts_with("HTTP/1.1 400"));
+        assert!(parse_request_line(b"GET /stats SPDY/9\r\n\r\n")
+            .unwrap_err()
+            .starts_with("HTTP/1.1 400"));
+        assert!(parse_request_line(b"\xff\xfe garbage")
+            .unwrap_err()
+            .starts_with("HTTP/1.1 400"));
+    }
+
+    #[test]
+    fn replies_carry_content_length_and_close() {
+        let reply = json_reply(200, "{\"ok\":true}");
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(reply.contains("content-length: 11\r\n"));
+        assert!(reply.contains("connection: close\r\n"));
+        assert!(reply.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_bodies_are_escaped_json() {
+        let reply = error_reply(400, "bad-request", "a \"quoted\"\nthing");
+        assert!(reply.contains("\\\"quoted\\\"\\n"));
+        assert!(json_escape("\u{1}").contains("\\u0001"));
+    }
+}

@@ -1,0 +1,604 @@
+//! The network front end: a TCP listener over the sharded query router.
+//!
+//! ```text
+//!                 TcpListener (accept loop thread, nonblocking poll)
+//!                      │ accepted sockets
+//!                      ▼
+//!            [bounded hand-off queue]      ← full ⇒ connection refused
+//!        ┌───────────┬─┴─────────────┐
+//!        ▼           ▼               ▼
+//!    worker 0    worker 1   …   worker W−1     connection workers
+//!    sniff 4 bytes: "NETQ" ⇒ binary frames, else ⇒ HTTP/1.1
+//!        │           │               │
+//!        └───────────┴───────┬───────┘
+//!                            ▼
+//!                  SketchServer (shard router)   the PR-2 in-process layer
+//! ```
+//!
+//! Each worker owns one connection at a time and speaks request–response:
+//! one frame in, one frame out.  Backpressure is layered — the hand-off
+//! queue bounds waiting connections, the shard queues bound dispatched
+//! batches, and [`NetConfig::max_batch_pairs`] bounds how much work one
+//! frame may demand.
+//!
+//! # Timeouts and shutdown
+//!
+//! A single deadline ([`NetConfig::read_timeout`]) covers reading one
+//! complete frame *and* doubles as the idle timeout: a connection that
+//! sends nothing, dribbles bytes, or stops mid-frame is closed when the
+//! deadline expires, so no peer can pin a worker.  Writes carry the same
+//! deadline.
+//!
+//! [`NetServer::shutdown`] runs the graceful drain:
+//!
+//! ```text
+//! running ──flag──▶ draining ──join──▶ closed
+//!   accept loop stops, listener closes   (late connects: ECONNREFUSED)
+//!   idle connections close at once       (abort flag between frames)
+//!   in-flight frames complete + answer   (drain, then close)
+//!   shard router shuts down last         (final counters returned)
+//! ```
+
+use super::http;
+use super::protocol::{
+    NetError, Request, Response, WireError, WireErrorCode, DEFAULT_MAX_PAYLOAD, HEADER_LEN,
+    REQUEST_MAGIC,
+};
+use super::wire::{self, ReadOutcome};
+use crate::server::{ServeClient, ServeConfig, SketchServer};
+use crate::stats::{NetCounters, NetStats, ServeStats};
+use dsketch::{DistanceOracle, SketchError};
+use netgraph::{Distance, NodeId};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sizing and timeouts of the network front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Connection worker threads.  Each serves one connection at a time,
+    /// so this is the concurrent-connection bound.  Must be ≥ 1.
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker.  A full
+    /// queue refuses further connections instead of buffering without
+    /// limit.
+    pub pending_connections: usize,
+    /// Deadline for reading one complete frame (or HTTP request head);
+    /// also the idle timeout between frames and the write deadline.
+    pub read_timeout: Duration,
+    /// Largest number of pairs one batch frame may carry; larger batches
+    /// are answered with a typed [`WireErrorCode::BatchTooLarge`] error.
+    pub max_batch_pairs: usize,
+    /// Largest frame payload accepted, in bytes.  An oversized length
+    /// prefix is rejected before any allocation.
+    pub max_payload: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            workers: 4,
+            pending_connections: 32,
+            read_timeout: Duration::from_secs(5),
+            max_batch_pairs: 1 << 16,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Replace the worker-thread count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Replace the pending-connection bound.
+    pub fn with_pending_connections(mut self, pending: usize) -> Self {
+        self.pending_connections = pending;
+        self
+    }
+
+    /// Replace the read/idle/write deadline.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Replace the per-frame batch-size bound.
+    pub fn with_max_batch_pairs(mut self, pairs: usize) -> Self {
+        self.max_batch_pairs = pairs;
+        self
+    }
+
+    fn validate(&self) -> Result<(), SketchError> {
+        if self.workers == 0 {
+            return Err(SketchError::InvalidParameters(
+                "NetConfig::workers must be >= 1".to_string(),
+            ));
+        }
+        if self.read_timeout.is_zero() {
+            return Err(SketchError::InvalidParameters(
+                "NetConfig::read_timeout must be nonzero".to_string(),
+            ));
+        }
+        if self.max_batch_pairs == 0 {
+            return Err(SketchError::InvalidParameters(
+                "NetConfig::max_batch_pairs must be >= 1".to_string(),
+            ));
+        }
+        // A payload bound below one query pair (8 bytes) could answer
+        // nothing but pings.
+        if (self.max_payload as usize) < 8 {
+            return Err(SketchError::InvalidParameters(
+                "NetConfig::max_payload must be >= 8 bytes".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Why [`NetServer::start`] failed.
+#[derive(Debug)]
+pub enum NetStartError {
+    /// The serve or net configuration was invalid.
+    Config(SketchError),
+    /// Binding or configuring the TCP listener failed.
+    Bind(std::io::Error),
+}
+
+impl std::fmt::Display for NetStartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetStartError::Config(e) => write!(f, "invalid configuration: {e}"),
+            NetStartError::Bind(e) => write!(f, "binding the listener failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetStartError {}
+
+impl From<SketchError> for NetStartError {
+    fn from(e: SketchError) -> Self {
+        NetStartError::Config(e)
+    }
+}
+
+/// Final counters returned by [`NetServer::shutdown`]: the shard router's
+/// dispatch accounting plus the wire-level accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetServerStats {
+    /// In-process dispatch counters (queries, cache, service latency).
+    pub serve: ServeStats,
+    /// Wire counters (connections, frames, bytes, timeouts).
+    pub net: NetStats,
+}
+
+impl std::fmt::Display for NetServerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}\nwire: {}", self.serve, self.net)
+    }
+}
+
+/// Everything a connection worker needs: its own shard-router client, the
+/// shared counters, the shutdown flag, and the oracle metadata the stats
+/// document reports.
+pub(super) struct WorkerCtx {
+    server: Arc<SketchServer>,
+    client: ServeClient,
+    counters: Arc<NetCounters>,
+    shutdown: Arc<AtomicBool>,
+    config: NetConfig,
+    scheme_name: &'static str,
+    num_nodes: usize,
+    stretch_bound: Option<u64>,
+}
+
+/// The TCP front end over a [`SketchServer`].
+///
+/// Start one with [`NetServer::start`]; it serves the binary `NETQ`/`NETR`
+/// protocol and the hand-rolled HTTP endpoint on one port (the first four
+/// bytes of each connection select the protocol).  Stop it with
+/// [`NetServer::shutdown`] for the graceful drain, or drop it for the same
+/// sequence without the final counters.
+pub struct NetServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    server: Option<Arc<SketchServer>>,
+    counters: Arc<NetCounters>,
+    config: NetConfig,
+}
+
+impl NetServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:7421"`, port `0` for ephemeral) and
+    /// serve `oracle` through a fresh shard router.
+    pub fn start(
+        oracle: Arc<dyn DistanceOracle>,
+        serve_config: ServeConfig,
+        net_config: NetConfig,
+        addr: &str,
+    ) -> Result<NetServer, NetStartError> {
+        net_config.validate()?;
+        let scheme_name = oracle.scheme_name();
+        let num_nodes = oracle.num_nodes();
+        let stretch_bound = oracle.stretch_bound();
+        let server = Arc::new(SketchServer::start(oracle, serve_config)?);
+        let listener = TcpListener::bind(addr).map_err(NetStartError::Bind)?;
+        listener
+            .set_nonblocking(true)
+            .map_err(NetStartError::Bind)?;
+        let local_addr = listener.local_addr().map_err(NetStartError::Bind)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(NetCounters::default());
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(net_config.pending_connections);
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let mut workers = Vec::with_capacity(net_config.workers);
+        for worker in 0..net_config.workers {
+            let ctx = WorkerCtx {
+                server: Arc::clone(&server),
+                client: server.client(),
+                counters: Arc::clone(&counters),
+                shutdown: Arc::clone(&shutdown),
+                config: net_config,
+                scheme_name,
+                num_nodes,
+                stretch_bound,
+            };
+            let rx = Arc::clone(&conn_rx);
+            workers.push(dsketch::parallel::spawn_named(
+                &format!("dsketch-net-worker-{worker}"),
+                move || run_conn_worker(rx, ctx),
+            ));
+        }
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_counters = Arc::clone(&counters);
+        let accept_thread = dsketch::parallel::spawn_named("dsketch-net-accept", move || {
+            run_accept_loop(listener, conn_tx, accept_shutdown, accept_counters)
+        });
+
+        Ok(NetServer {
+            addr: local_addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            workers,
+            server: Some(server),
+            counters,
+            config: net_config,
+        })
+    }
+
+    /// The bound socket address (with the real port when `0` was asked).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The network sizing the server was started with.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// Snapshot the shard router's dispatch counters.
+    pub fn serve_stats(&self) -> ServeStats {
+        self.server.as_ref().map(|s| s.stats()).unwrap_or_default()
+    }
+
+    /// Snapshot the wire-level counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.counters.snapshot()
+    }
+
+    /// Gracefully drain and stop: refuse new connections, let in-flight
+    /// frames complete and be answered, close every connection, stop the
+    /// shard router, and return the final counters.
+    pub fn shutdown(mut self) -> NetServerStats {
+        self.stop_net();
+        let net = self.counters.snapshot();
+        let serve = match self.server.take() {
+            Some(server) => match Arc::try_unwrap(server) {
+                Ok(server) => server.shutdown(),
+                Err(server) => server.stats(),
+            },
+            None => ServeStats::default(),
+        };
+        NetServerStats { serve, net }
+    }
+
+    /// Raise the shutdown flag and join the accept loop and workers.
+    fn stop_net(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(accept) = self.accept_thread.take() {
+            // dsketch-lint: allow(no-unwrap-in-hot-path): join propagates an accept-loop panic — there is no error to type
+            accept.join().expect("net accept loop panicked");
+        }
+        for worker in self.workers.drain(..) {
+            // dsketch-lint: allow(no-unwrap-in-hot-path): join propagates a worker panic — there is no error to type
+            worker.join().expect("net connection worker panicked");
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop_net();
+        // Dropping the SketchServer Arc (now unique) joins the shards.
+        self.server.take();
+    }
+}
+
+/// The accept loop: poll-accept until shutdown, handing sockets to the
+/// workers through the bounded queue.  Exiting drops the listener, so
+/// late connects are refused at the TCP level.
+fn run_accept_loop(
+    listener: TcpListener,
+    conn_tx: mpsc::SyncSender<TcpStream>,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<NetCounters>,
+) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                counters
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+                match conn_tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => {
+                        counters.connections_refused.fetch_add(1, Ordering::Relaxed);
+                        drop(stream);
+                    }
+                    Err(TrySendError::Disconnected(stream)) => {
+                        drop(stream);
+                        break;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. EMFILE); back off briefly.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+    // conn_tx drops here: workers drain what is queued, then exit.
+}
+
+/// One connection worker: take sockets from the shared queue until the
+/// queue closes (accept loop gone) and it is drained.
+fn run_conn_worker(rx: Arc<Mutex<Receiver<TcpStream>>>, ctx: WorkerCtx) {
+    loop {
+        let next = {
+            let guard = match rx.lock() {
+                Ok(guard) => guard,
+                // A poisoned queue means another worker panicked; stop.
+                Err(_) => break,
+            };
+            guard.recv()
+        };
+        match next {
+            Ok(stream) => handle_connection(stream, &ctx),
+            Err(_) => break,
+        }
+    }
+}
+
+/// Serve one connection to completion: sniff the protocol from the first
+/// four bytes, then run the matching session loop.
+fn handle_connection(stream: TcpStream, ctx: &WorkerCtx) {
+    let _ = stream.set_nodelay(true);
+    let deadline = Instant::now() + ctx.config.read_timeout;
+    match wire::peek_exact(&stream, 4, deadline, Some(&ctx.shutdown)) {
+        Ok(Some(prefix)) if prefix == REQUEST_MAGIC => binary_session(&stream, ctx),
+        Ok(Some(_)) => http::http_session(&stream, ctx),
+        Ok(None) => {
+            // Closed before speaking, or shutdown raised while idle.
+        }
+        Err(NetError::Timeout) => {
+            ctx.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(_) => {}
+    }
+    ctx.counters
+        .connections_closed
+        .fetch_add(1, Ordering::Relaxed);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// The binary request–response loop: one `NETQ` frame in, one `NETR`
+/// frame out, until clean close, deadline, framing damage, or shutdown.
+fn binary_session(stream: &TcpStream, ctx: &WorkerCtx) {
+    loop {
+        if ctx.shutdown.load(Ordering::Relaxed) {
+            // Between frames: nothing in flight, close immediately.
+            break;
+        }
+        let deadline = Instant::now() + ctx.config.read_timeout;
+        match wire::read_frame(
+            stream,
+            REQUEST_MAGIC,
+            ctx.config.max_payload,
+            deadline,
+            Some(&ctx.shutdown),
+        ) {
+            Ok(ReadOutcome::Closed) => break,
+            Ok(ReadOutcome::Frame(header, payload)) => {
+                ctx.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                ctx.counters
+                    .bytes_in
+                    .fetch_add((HEADER_LEN + payload.len()) as u64, Ordering::Relaxed);
+                match Request::decode(header.kind, &payload) {
+                    Ok(request) => {
+                        let response = answer_request(request, ctx);
+                        if !write_response(stream, &response, ctx) {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        // The header (and so the framing) was fine — reply
+                        // with a typed error and keep the connection.
+                        ctx.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        let error =
+                            Response::Error(WireError::new(WireErrorCode::BadFrame, e.to_string()));
+                        if !write_response(stream, &error, ctx) {
+                            break;
+                        }
+                    }
+                }
+            }
+            Err(NetError::Timeout) => {
+                ctx.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Err(
+                e @ (NetError::BadMagic { .. }
+                | NetError::UnsupportedVersion { .. }
+                | NetError::NonZeroReserved { .. }
+                | NetError::FrameTooLarge { .. }),
+            ) => {
+                // Framing is poisoned: answer once with a typed error so
+                // the peer learns why, then close.
+                ctx.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let error = Response::Error(WireError::new(WireErrorCode::BadFrame, e.to_string()));
+                let _ = write_response(stream, &error, ctx);
+                break;
+            }
+            Err(NetError::Truncated { .. }) => {
+                ctx.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Dispatch one decoded request through the shard router.
+fn answer_request(request: Request, ctx: &WorkerCtx) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Query { u, v } => match ctx.client.query(u, v) {
+            Ok(distance) => Response::Distance(distance),
+            Err(e) => Response::Error(WireError::from_sketch(&e)),
+        },
+        Request::QueryBatch { pairs } => {
+            if pairs.len() > ctx.config.max_batch_pairs {
+                return Response::Error(WireError::new(
+                    WireErrorCode::BatchTooLarge,
+                    format!(
+                        "batch of {} pairs exceeds the {}-pair bound",
+                        pairs.len(),
+                        ctx.config.max_batch_pairs
+                    ),
+                ));
+            }
+            Response::Batch(
+                ctx.client
+                    .query_batch(&pairs)
+                    .into_iter()
+                    .map(|r| r.map_err(|e| WireError::from_sketch(&e)))
+                    .collect(),
+            )
+        }
+        Request::Stats => Response::Stats(stats_json(ctx)),
+    }
+}
+
+/// Write one response frame; `false` means the connection is unusable.
+fn write_response(stream: &TcpStream, response: &Response, ctx: &WorkerCtx) -> bool {
+    let frame = response.to_frame();
+    match wire::write_all_deadline(stream, &frame, ctx.config.read_timeout) {
+        Ok(written) => {
+            ctx.counters.frames_out.fetch_add(1, Ordering::Relaxed);
+            ctx.counters
+                .bytes_out
+                .fetch_add(written as u64, Ordering::Relaxed);
+            true
+        }
+        Err(NetError::Timeout) => {
+            ctx.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+        Err(_) => false,
+    }
+}
+
+/// The stats document served by `GET /stats` and the binary stats frame:
+/// oracle metadata, shard-router totals, and wire counters in one JSON
+/// object (hand-rolled — every value is a number or a short JSON string).
+pub(crate) fn stats_json(ctx: &WorkerCtx) -> String {
+    let serve = ctx.server.stats();
+    let net = ctx.counters.snapshot();
+    let stretch = match ctx.stretch_bound {
+        Some(bound) => bound.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        concat!(
+            "{{\"scheme\":\"{}\",\"num_nodes\":{},\"stretch_bound\":{},",
+            "\"serve\":{{\"queries\":{},\"cache_hits\":{},\"cache_misses\":{},",
+            "\"errors\":{},\"batches\":{},\"busy_nanos\":{},\"max_latency_nanos\":{},",
+            "\"shards\":{}}},",
+            "\"net\":{{\"connections_accepted\":{},\"connections_refused\":{},",
+            "\"connections_closed\":{},\"frames_in\":{},\"frames_out\":{},",
+            "\"http_requests\":{},\"bytes_in\":{},\"bytes_out\":{},",
+            "\"timeouts\":{},\"protocol_errors\":{}}}}}"
+        ),
+        ctx.scheme_name,
+        ctx.num_nodes,
+        stretch,
+        serve.totals.queries,
+        serve.totals.cache_hits,
+        serve.totals.cache_misses,
+        serve.totals.errors,
+        serve.totals.batches,
+        serve.totals.busy_nanos,
+        serve.totals.max_latency_nanos,
+        serve.num_shards(),
+        net.connections_accepted,
+        net.connections_refused,
+        net.connections_closed,
+        net.frames_in,
+        net.frames_out,
+        net.http_requests,
+        net.bytes_in,
+        net.bytes_out,
+        net.timeouts,
+        net.protocol_errors,
+    )
+}
+
+/// Accessors `http.rs` needs on the worker context without exposing the
+/// struct fields outside the module tree.
+impl WorkerCtx {
+    pub(super) fn query(&self, u: NodeId, v: NodeId) -> Result<Distance, SketchError> {
+        self.client.query(u, v)
+    }
+
+    pub(super) fn scheme_name(&self) -> &'static str {
+        self.scheme_name
+    }
+
+    pub(super) fn read_timeout(&self) -> Duration {
+        self.config.read_timeout
+    }
+
+    pub(super) fn counters(&self) -> &NetCounters {
+        &self.counters
+    }
+
+    pub(super) fn shutdown_flag(&self) -> &AtomicBool {
+        &self.shutdown
+    }
+
+    pub(super) fn stats_document(&self) -> String {
+        stats_json(self)
+    }
+}

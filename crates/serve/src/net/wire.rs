@@ -1,0 +1,226 @@
+//! Deadline-aware frame I/O over a [`TcpStream`].
+//!
+//! Both ends of the protocol read frames the same way: a hard wall-clock
+//! deadline covers the *whole* frame, not each `read(2)` call.  A client
+//! that dribbles one byte at a time still has to deliver a complete frame
+//! before the deadline — otherwise the read fails with
+//! [`NetError::Timeout`] and the connection is closed, so a slow or
+//! stalled peer can never pin a worker thread for longer than the
+//! configured timeout.
+//!
+//! Reads poll in short slices (≤ 50 ms) so the server can additionally
+//! observe its shutdown flag *between* frames: an idle connection is
+//! released promptly on shutdown, while a frame already in progress is
+//! read to completion (drained) before the connection closes.
+
+use super::protocol::{parse_header, FrameHeader, NetError, HEADER_LEN};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Upper bound of one poll slice: how often a blocked read re-checks the
+/// deadline and the abort flag.
+const POLL_SLICE: Duration = Duration::from_millis(50);
+
+/// The outcome of waiting for one frame.
+#[derive(Debug)]
+pub(crate) enum ReadOutcome {
+    /// A complete frame arrived.
+    Frame(FrameHeader, Vec<u8>),
+    /// The peer closed the connection cleanly before sending any byte of a
+    /// new frame, or the abort flag was raised while the line was idle.
+    Closed,
+}
+
+/// Block until `buf` is full, the deadline expires, the peer closes, or
+/// (when nothing has been consumed yet) the abort flag is raised.
+///
+/// `consumed_any` reports whether earlier bytes of the same frame were
+/// already read: a clean EOF is only "closed" at a frame boundary —
+/// mid-frame it is [`NetError::Truncated`].
+fn read_full(
+    stream: &TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+    abort: Option<&AtomicBool>,
+    consumed_any: bool,
+    needed_total: usize,
+    read_so_far: usize,
+) -> Result<Option<()>, NetError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        if !consumed_any && filled == 0 {
+            if let Some(flag) = abort {
+                if flag.load(Ordering::Relaxed) {
+                    return Ok(None);
+                }
+            }
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(NetError::Timeout);
+        }
+        let slice = (deadline - now)
+            .min(POLL_SLICE)
+            .max(Duration::from_millis(1));
+        stream
+            .set_read_timeout(Some(slice))
+            .map_err(|e| NetError::Io(e.kind()))?;
+        match (&mut (&*stream)).read(&mut buf[filled..]) {
+            Ok(0) => {
+                if consumed_any || filled > 0 {
+                    return Err(NetError::Truncated {
+                        read: read_so_far + filled,
+                        needed: needed_total,
+                    });
+                }
+                return Ok(None);
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(NetError::Io(e.kind())),
+        }
+    }
+    Ok(Some(()))
+}
+
+/// Read one complete frame (header + payload) before `deadline`.
+///
+/// `abort` (the server's shutdown flag) is only honored while the line is
+/// idle — once the first byte of a frame has arrived, the frame is read to
+/// completion so in-flight requests drain during shutdown.
+pub(crate) fn read_frame(
+    stream: &TcpStream,
+    expect_magic: [u8; 4],
+    max_payload: u32,
+    deadline: Instant,
+    abort: Option<&AtomicBool>,
+) -> Result<ReadOutcome, NetError> {
+    let mut header_bytes = [0u8; HEADER_LEN];
+    let total_guess = HEADER_LEN; // refined once the header is parsed
+    match read_full(
+        stream,
+        &mut header_bytes,
+        deadline,
+        abort,
+        false,
+        total_guess,
+        0,
+    )? {
+        Some(()) => {}
+        None => return Ok(ReadOutcome::Closed),
+    }
+    let header = parse_header(&header_bytes, expect_magic, max_payload)?;
+    let mut payload = vec![0u8; header.payload_len as usize];
+    let needed = HEADER_LEN + payload.len();
+    match read_full(
+        stream,
+        &mut payload,
+        deadline,
+        abort,
+        true,
+        needed,
+        HEADER_LEN,
+    )? {
+        Some(()) => Ok(ReadOutcome::Frame(header, payload)),
+        // Unreachable: with `consumed_any = true` a closed peer is
+        // reported as `Truncated`, not as `None`.
+        None => Ok(ReadOutcome::Closed),
+    }
+}
+
+/// Peek at the first `want` bytes of the stream without consuming them,
+/// waiting until they arrive, the deadline expires, the peer closes, or
+/// the abort flag is raised while no byte has arrived yet.
+///
+/// Returns the peeked bytes, or `None` when the connection closed (or was
+/// aborted) before `want` bytes existed.
+pub(crate) fn peek_exact(
+    stream: &TcpStream,
+    want: usize,
+    deadline: Instant,
+    abort: Option<&AtomicBool>,
+) -> Result<Option<Vec<u8>>, NetError> {
+    let mut buf = vec![0u8; want];
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(NetError::Timeout);
+        }
+        let slice = (deadline - now)
+            .min(POLL_SLICE)
+            .max(Duration::from_millis(1));
+        stream
+            .set_read_timeout(Some(slice))
+            .map_err(|e| NetError::Io(e.kind()))?;
+        match stream.peek(&mut buf) {
+            Ok(n) if n >= want => return Ok(Some(buf)),
+            Ok(0) => return Ok(None),
+            Ok(_) => {
+                // A prefix exists but not the whole sniff window yet; an
+                // abort only applies while we could still walk away from
+                // the connection without having committed to a protocol.
+                if let Some(flag) = abort {
+                    if flag.load(Ordering::Relaxed) {
+                        return Ok(None);
+                    }
+                }
+                // Loop again; peek is level-triggered, so wait a slice to
+                // avoid spinning on the same partial prefix.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if let Some(flag) = abort {
+                    if flag.load(Ordering::Relaxed) {
+                        return Ok(None);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(NetError::Io(e.kind())),
+        }
+    }
+}
+
+/// Write all of `bytes` with a write deadline, returning the byte count.
+///
+/// A peer that stops reading (full socket buffer) trips the write timeout
+/// and the connection is dropped — the sending worker is never pinned.
+pub(crate) fn write_all_deadline(
+    stream: &TcpStream,
+    bytes: &[u8],
+    timeout: Duration,
+) -> Result<usize, NetError> {
+    stream
+        .set_write_timeout(Some(timeout.max(Duration::from_millis(1))))
+        .map_err(|e| NetError::Io(e.kind()))?;
+    let deadline = Instant::now() + timeout;
+    let mut written = 0usize;
+    while written < bytes.len() {
+        if Instant::now() >= deadline {
+            return Err(NetError::Timeout);
+        }
+        match (&mut (&*stream)).write(&bytes[written..]) {
+            Ok(0) => {
+                return Err(NetError::Io(std::io::ErrorKind::WriteZero));
+            }
+            Ok(n) => written += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(NetError::Timeout);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(NetError::Io(e.kind())),
+        }
+    }
+    Ok(written)
+}

@@ -109,6 +109,98 @@ impl std::fmt::Display for ServeStats {
     }
 }
 
+/// Wire-level counters of the network front end ([`crate::net`]): what the
+/// in-process [`ShardStats`] cannot see because it begins at the shard
+/// queues — sockets, frames, bytes, timeouts.
+///
+/// A plain snapshot value like [`ShardStats`]; the live atomics live in
+/// the server's internal counters.  `GET /stats` serves both this and the shard totals in
+/// one JSON document, so wire cost and dispatch cost can be read side by
+/// side.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Connections the listener accepted.
+    pub connections_accepted: u64,
+    /// Accepted connections dropped because the worker hand-off queue was
+    /// full (backpressure at the front door).
+    pub connections_refused: u64,
+    /// Connections that reached end of service (clean close, error close,
+    /// or timeout close).
+    pub connections_closed: u64,
+    /// Well-framed request frames read (binary protocol).
+    pub frames_in: u64,
+    /// Response frames written (binary protocol).
+    pub frames_out: u64,
+    /// HTTP requests parsed (the hand-rolled `GET /distance` + `GET /stats`
+    /// endpoint).
+    pub http_requests: u64,
+    /// Bytes read from sockets (frame headers + payloads + HTTP requests).
+    pub bytes_in: u64,
+    /// Bytes written to sockets (frames + HTTP responses).
+    pub bytes_out: u64,
+    /// Connections closed because a read or write deadline expired (slow,
+    /// stalled, or idle peers).
+    pub timeouts: u64,
+    /// Malformed inputs answered with a typed error (bad magic, bad
+    /// version, oversized length prefix, undecodable payload, garbage
+    /// HTTP request line).
+    pub protocol_errors: u64,
+}
+
+impl std::fmt::Display for NetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} conns accepted ({} refused, {} closed), {} frames in / {} out, \
+             {} http requests, {} B in / {} B out, {} timeouts, {} protocol errors",
+            self.connections_accepted,
+            self.connections_refused,
+            self.connections_closed,
+            self.frames_in,
+            self.frames_out,
+            self.http_requests,
+            self.bytes_in,
+            self.bytes_out,
+            self.timeouts,
+            self.protocol_errors,
+        )
+    }
+}
+
+/// The live, shared atomics behind [`NetStats`], written by the accept
+/// loop and the connection workers.  Relaxed ordering: monotone counters
+/// read only for reporting, like [`ShardCounters`].
+#[derive(Debug, Default)]
+pub(crate) struct NetCounters {
+    pub connections_accepted: AtomicU64,
+    pub connections_refused: AtomicU64,
+    pub connections_closed: AtomicU64,
+    pub frames_in: AtomicU64,
+    pub frames_out: AtomicU64,
+    pub http_requests: AtomicU64,
+    pub bytes_in: AtomicU64,
+    pub bytes_out: AtomicU64,
+    pub timeouts: AtomicU64,
+    pub protocol_errors: AtomicU64,
+}
+
+impl NetCounters {
+    pub(crate) fn snapshot(&self) -> NetStats {
+        NetStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_refused: self.connections_refused.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            http_requests: self.http_requests.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The live, shared counters one worker thread writes and [`ServeStats`]
 /// snapshots read.  Relaxed ordering is enough: counters are monotone and
 /// read only for reporting.
@@ -197,6 +289,45 @@ mod tests {
         assert_eq!(snap.queries, 3);
         assert_eq!(snap.busy_nanos, 60);
         assert_eq!(snap.max_latency_nanos, 50);
+    }
+
+    #[test]
+    fn net_counters_snapshot_exact_counts() {
+        let counters = NetCounters::default();
+        counters
+            .connections_accepted
+            .fetch_add(3, Ordering::Relaxed);
+        counters.connections_refused.fetch_add(1, Ordering::Relaxed);
+        counters.connections_closed.fetch_add(2, Ordering::Relaxed);
+        counters.frames_in.fetch_add(10, Ordering::Relaxed);
+        counters.frames_out.fetch_add(11, Ordering::Relaxed);
+        counters.http_requests.fetch_add(4, Ordering::Relaxed);
+        counters.bytes_in.fetch_add(1200, Ordering::Relaxed);
+        counters.bytes_out.fetch_add(3400, Ordering::Relaxed);
+        counters.timeouts.fetch_add(5, Ordering::Relaxed);
+        counters.protocol_errors.fetch_add(6, Ordering::Relaxed);
+        let snap = counters.snapshot();
+        assert_eq!(
+            snap,
+            NetStats {
+                connections_accepted: 3,
+                connections_refused: 1,
+                connections_closed: 2,
+                frames_in: 10,
+                frames_out: 11,
+                http_requests: 4,
+                bytes_in: 1200,
+                bytes_out: 3400,
+                timeouts: 5,
+                protocol_errors: 6,
+            }
+        );
+        let text = snap.to_string();
+        assert!(text.contains("3 conns accepted"));
+        assert!(text.contains("1 refused"));
+        assert!(text.contains("1200 B in / 3400 B out"));
+        assert!(text.contains("5 timeouts"));
+        assert!(text.contains("6 protocol errors"));
     }
 
     #[test]

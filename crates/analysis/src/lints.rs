@@ -1,15 +1,16 @@
-//! The project lint pass: five hand-rolled lints over the workspace
+//! The project lint pass: six hand-rolled lints over the workspace
 //! sources, with per-line escapes and path scoping.
 //!
 //! The lints encode contracts the compiler cannot express for us:
 //!
 //! | lint | contract |
 //! |---|---|
-//! | `no-unwrap-in-hot-path` | no `unwrap()` / `expect()` / `panic!` in `core`/`store`/`serve` lib code outside tests |
+//! | `no-unwrap-in-hot-path` | no `unwrap()` / `expect()` / `panic!` in `core`/`store`/`serve`/`obs` lib code outside tests |
 //! | `checked-casts` | no bare integer `as` casts in codec/format/flat byte-layout code — use `dsketch::cast` |
 //! | `unsafe-needs-safety-comment` | every `unsafe` is preceded by a `// SAFETY:` comment |
 //! | `deny-missing-docs-everywhere` | every lib crate root carries `#![deny(missing_docs)]` |
 //! | `no-raw-thread-spawn` | all thread spawning goes through `dsketch::parallel` |
+//! | `metric-name-style` | registered metric names are snake_case, `dsketch_`-prefixed, and unit-suffixed |
 //!
 //! A finding can be suppressed **at the site** with an escape comment that
 //! names the lint and must carry a justification:
@@ -28,12 +29,12 @@ use crate::lexer::{tokenize, Token, TokenKind};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
-/// The five project lints.
+/// The six project lints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Lint {
     /// No `unwrap()` / `expect()` / `panic!` / `todo!` / `unimplemented!`
-    /// in hot-path lib code (`crates/core`, `crates/store`, `crates/serve`)
-    /// outside `#[cfg(test)]`.
+    /// in hot-path lib code (`crates/core`, `crates/store`, `crates/serve`,
+    /// `crates/obs`) outside `#[cfg(test)]`.
     NoUnwrapInHotPath,
     /// No bare integer `as` casts in byte-layout code (codec, DSK1 format,
     /// flat CSR); use the `dsketch::cast` checked helpers.
@@ -48,17 +49,25 @@ pub enum Lint {
     /// `dsketch::parallel` — one blessed spawn path for the whole
     /// workspace.
     NoRawThreadSpawn,
+    /// Metric names passed as string literals to the registry's
+    /// `counter`/`gauge`/`histogram` constructors must be snake_case
+    /// (`[a-z0-9_]`, no `__`, no trailing `_`), carry the `dsketch_`
+    /// prefix, and end with a unit suffix (`_total`, `_nanos`,
+    /// `_seconds`, `_bytes`, `_ratio`, `_entries`, or `_info`) — so the
+    /// `/metrics` exposition stays uniformly navigable.
+    MetricNameStyle,
 }
 
 impl Lint {
     /// All lints, in reporting order.
-    pub fn all() -> [Lint; 5] {
+    pub fn all() -> [Lint; 6] {
         [
             Lint::NoUnwrapInHotPath,
             Lint::CheckedCasts,
             Lint::UnsafeNeedsSafetyComment,
             Lint::DenyMissingDocsEverywhere,
             Lint::NoRawThreadSpawn,
+            Lint::MetricNameStyle,
         ]
     }
 
@@ -70,6 +79,7 @@ impl Lint {
             Lint::UnsafeNeedsSafetyComment => "unsafe-needs-safety-comment",
             Lint::DenyMissingDocsEverywhere => "deny-missing-docs-everywhere",
             Lint::NoRawThreadSpawn => "no-raw-thread-spawn",
+            Lint::MetricNameStyle => "metric-name-style",
         }
     }
 
@@ -189,6 +199,9 @@ pub fn lint_file(path: &Path, source: &str) -> Vec<Finding> {
     if scope.spawn_lint {
         lint_no_raw_spawn(path, &tokens, &test_lines, &mut findings);
     }
+    if scope.metric_lint {
+        lint_metric_name_style(path, &tokens, &test_lines, &mut findings);
+    }
 
     findings.retain(|f| {
         !suppressed.get(&f.lint).is_some_and(|lines| {
@@ -205,13 +218,15 @@ struct Scope {
     cast_lint: bool,
     lib_root: bool,
     spawn_lint: bool,
+    metric_lint: bool,
 }
 
 impl Scope {
     fn of(path: &Path) -> Scope {
         let p = path.to_string_lossy().replace('\\', "/");
         let in_lib_src = |krate: &str| p.starts_with(&format!("crates/{krate}/src/"));
-        let unwrap_lint = in_lib_src("core") || in_lib_src("store") || in_lib_src("serve");
+        let unwrap_lint =
+            in_lib_src("core") || in_lib_src("store") || in_lib_src("serve") || in_lib_src("obs");
         // The byte-layout code: the sketch codec, the flat CSR decoder, and
         // the DSK1 container.  `cast.rs` itself is the blessed home of the
         // raw casts and is exempt.
@@ -231,11 +246,19 @@ impl Scope {
             && !p.starts_with("tests/")
             && !p.contains("/tests/")
             && !p.contains("/benches/");
+        // Metric names are registered from crate sources (lib and bin);
+        // integration tests exercising deliberately bad names are exempt,
+        // like the other style lints.
+        let metric_lint = p.starts_with("crates/")
+            && p.contains("/src/")
+            && !p.contains("/tests/")
+            && !p.contains("/benches/");
         Scope {
             unwrap_lint,
             cast_lint,
             lib_root,
             spawn_lint,
+            metric_lint,
         }
     }
 }
@@ -463,6 +486,95 @@ fn lint_no_raw_spawn(
     }
 }
 
+/// Registry constructor methods whose first string-literal argument is a
+/// metric name (see `dsketch-obs`).
+const METRIC_METHODS: [&str; 6] = [
+    "counter",
+    "counter_with",
+    "gauge",
+    "gauge_with",
+    "histogram",
+    "histogram_with",
+];
+
+/// The unit suffixes the naming convention accepts.
+const METRIC_SUFFIXES: [&str; 7] = [
+    "_total", "_nanos", "_seconds", "_bytes", "_ratio", "_entries", "_info",
+];
+
+/// Why `name` violates the metric naming convention, or `None` if it is
+/// conforming.
+fn metric_name_problem(name: &str) -> Option<String> {
+    if !name.starts_with("dsketch_") {
+        return Some(format!("metric `{name}` lacks the `dsketch_` prefix"));
+    }
+    if let Some(bad) = name
+        .chars()
+        .find(|c| !c.is_ascii_lowercase() && !c.is_ascii_digit() && *c != '_')
+    {
+        return Some(format!(
+            "metric `{name}` contains `{bad}` — snake_case `[a-z0-9_]` only"
+        ));
+    }
+    if name.contains("__") {
+        return Some(format!("metric `{name}` contains a double underscore"));
+    }
+    if name.ends_with('_') {
+        return Some(format!("metric `{name}` ends with `_`"));
+    }
+    if !METRIC_SUFFIXES.iter().any(|s| name.ends_with(s)) {
+        return Some(format!(
+            "metric `{name}` lacks a unit suffix (one of {})",
+            METRIC_SUFFIXES.join(", ")
+        ));
+    }
+    None
+}
+
+fn lint_metric_name_style(
+    path: &Path,
+    tokens: &[Token<'_>],
+    test_lines: &BTreeSet<u32>,
+    findings: &mut Vec<Finding>,
+) {
+    let code: Vec<&Token<'_>> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    for (i, token) in code.iter().enumerate() {
+        if token.kind != TokenKind::Ident
+            || test_lines.contains(&token.line)
+            || !METRIC_METHODS.contains(&token.text)
+        {
+            continue;
+        }
+        // Only method calls with a string-literal first argument:
+        // `.counter("…", …)`.  Names built at runtime cannot be checked
+        // statically and are deliberately out of scope.
+        let is_method = i > 0 && code[i - 1].text == ".";
+        if !is_method || code.get(i + 1).map(|t| t.text) != Some("(") {
+            continue;
+        }
+        let Some(arg) = code.get(i + 2) else {
+            continue;
+        };
+        if arg.kind != TokenKind::Str {
+            continue;
+        }
+        // Strip the quotes (and any raw/byte prefix) off the literal.
+        let Some(open) = arg.text.find('"') else {
+            continue;
+        };
+        let inner = &arg.text[open + 1..];
+        let name = inner.rfind('"').map_or(inner, |close| &inner[..close]);
+        if let Some(problem) = metric_name_problem(name) {
+            findings.push(Finding {
+                lint: Lint::MetricNameStyle,
+                file: path.to_path_buf(),
+                line: arg.line,
+                message: problem,
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -575,6 +687,54 @@ mod tests {
         assert!(lint_as("crates/core/src/parallel.rs", spawn).is_empty());
         // Integration tests may spawn freely.
         assert!(lint_as("tests/tests/serve_layer.rs", spawn).is_empty());
+    }
+
+    #[test]
+    fn metric_names_must_follow_the_convention() {
+        let obs = "crates/serve/src/stats.rs";
+        // Conforming names pass, whichever constructor registers them.
+        let good = r#"fn f(r: &MetricsRegistry) {
+            r.counter("dsketch_serve_queries_total", "h");
+            let l = "4";
+            r.gauge_with("dsketch_serve_queue_entries", "h", &[("shard", &l)]);
+            r.histogram("dsketch_serve_query_latency_nanos", "h");
+        }"#;
+        assert!(lint_as(obs, good).is_empty(), "{:?}", lint_as(obs, good));
+        // Each violation class is caught.
+        for (source, needle) in [
+            (r#"r.counter("serve_queries_total", "h");"#, "prefix"),
+            (r#"r.counter("dsketch_Serve_total", "h");"#, "snake_case"),
+            (
+                r#"r.gauge("dsketch_serve__queue_entries", "h");"#,
+                "double underscore",
+            ),
+            (
+                r#"r.histogram("dsketch_serve_latency", "h");"#,
+                "unit suffix",
+            ),
+            (
+                r#"r.counter_with("dsketch_x_total_", "h", &[]);"#,
+                "ends with",
+            ),
+        ] {
+            let wrapped = format!("fn f() {{ {source} }}");
+            let findings = lint_as(obs, &wrapped);
+            assert_eq!(findings.len(), 1, "{source}: {findings:?}");
+            assert_eq!(findings[0].lint, Lint::MetricNameStyle);
+            assert!(
+                findings[0].message.contains(needle),
+                "{}",
+                findings[0].message
+            );
+        }
+        // Plain function calls, runtime-built names and test modules are
+        // out of scope.
+        let skip = r#"fn f() { counter("x", "h"); r.counter(name, "h"); }
+            #[cfg(test)] mod t { fn g(r: &R) { r.counter("bad", "h"); } }"#;
+        assert!(lint_as(obs, skip).is_empty());
+        // Integration tests may register deliberately bad names.
+        let bad = r#"fn f(r: &R) { r.counter("bad", "h"); }"#;
+        assert!(lint_as("tests/tests/obs_registry.rs", bad).is_empty());
     }
 
     #[test]

@@ -6,7 +6,11 @@
 //! protocol on a socket, this binary opens `--connections` concurrent
 //! clients, replays a seeded [`QueryWorkload`] through them, and reports
 //! throughput plus p50/p95/p99 per-request latency, writing the same
-//! numbers as machine-readable JSON (default `BENCH_serve.json`).
+//! numbers as machine-readable JSON (default `BENCH_serve.json`).  Every
+//! frame latency is also recorded into a client-side
+//! [`dsketch_obs::Histogram`], and the JSON carries its log₂ bucket
+//! counts (`latency_histogram`) so runs can be compared distribution-wise,
+//! not just by three percentile points.
 //!
 //! ```text
 //! # terminal 1: serve a sketch on a port
@@ -31,6 +35,7 @@
 
 use dsketch_bench::workloads::QueryWorkload;
 use dsketch_bench::{arg_parse_or_exit, arg_value, percentile_nanos};
+use dsketch_obs::Histogram;
 use dsketch_serve::NetClient;
 use netgraph::NodeId;
 use std::time::{Duration, Instant};
@@ -96,13 +101,17 @@ fn main() {
     );
 
     let pairs = shape.generate(num_nodes, queries, seed);
+    // One shared log₂-bucket histogram across every connection thread: the
+    // same lock-free type the server records into, exercised client-side.
+    let histogram = Histogram::new();
     let started = Instant::now();
     let mut handles = Vec::with_capacity(connections);
     for (conn, slice) in chunk_evenly(&pairs, connections).into_iter().enumerate() {
         let addr = addr.clone();
+        let histogram = histogram.clone();
         handles.push(dsketch::parallel::spawn_named(
             &format!("dsketch-loadgen-{conn}"),
-            move || run_connection(&addr, timeout, &slice, batch),
+            move || run_connection(&addr, timeout, &slice, batch, &histogram),
         ));
     }
     let mut reports = Vec::with_capacity(connections);
@@ -150,10 +159,11 @@ fn main() {
              \"answers\": {answers},\n\"typed_errors\": {typed_errors},\n\
              \"elapsed_ms\": {:.3},\n\"queries_per_sec\": {qps:.0},\n\
              \"frames\": {},\n\"latency_nanos\": {{\"p50\": {p50}, \"p95\": {p95}, \
-             \"p99\": {p99}}}\n}}\n",
+             \"p99\": {p99}}},\n\"latency_histogram\": {}\n}}\n",
             shape.name(),
             elapsed.as_secs_f64() * 1e3,
             latencies.len(),
+            histogram_json(&histogram.snapshot()),
         );
         match std::fs::write(&json_path, &json) {
             Ok(()) => println!("wrote machine-readable results to {json_path}"),
@@ -174,6 +184,7 @@ fn run_connection(
     timeout: Duration,
     pairs: &[(NodeId, NodeId)],
     batch: usize,
+    histogram: &Histogram,
 ) -> ConnReport {
     let mut report = ConnReport::default();
     let mut client = match NetClient::connect(addr, timeout) {
@@ -210,11 +221,41 @@ fn run_connection(
                 }
             }
         }
-        report
-            .latencies_nanos
-            .push(frame_started.elapsed().as_nanos() as u64);
+        let frame_nanos = u64::try_from(frame_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        histogram.record(frame_nanos);
+        report.latencies_nanos.push(frame_nanos);
     }
     report
+}
+
+/// Render one histogram snapshot as a JSON object: total count (derived
+/// from the buckets, so it always matches their sum), sum and max in
+/// nanoseconds, then the non-empty log₂ buckets with their inclusive
+/// upper bounds (the last bucket's `u64::MAX` bound is rendered as -1,
+/// since it means "unbounded", and JSON has no u64).
+fn histogram_json(snap: &dsketch_obs::HistogramSnapshot) -> String {
+    let buckets: Vec<String> = snap
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &count)| count > 0)
+        .map(|(index, &count)| {
+            let bound = dsketch_obs::bucket_upper_bound(index);
+            let le = if bound == u64::MAX {
+                "-1".to_string()
+            } else {
+                bound.to_string()
+            };
+            format!("{{\"le_nanos\": {le}, \"count\": {count}}}")
+        })
+        .collect();
+    format!(
+        "{{\"count\": {}, \"sum_nanos\": {}, \"max_nanos\": {}, \"buckets\": [{}]}}",
+        snap.count(),
+        snap.sum,
+        snap.max,
+        buckets.join(", ")
+    )
 }
 
 /// Split `pairs` into `parts` contiguous slices whose lengths differ by at

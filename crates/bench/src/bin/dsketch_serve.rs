@@ -26,10 +26,13 @@
 //! With `--listen HOST:PORT` the binary serves the sketch over TCP instead
 //! of replaying local traffic: the length-prefixed binary protocol (drive
 //! it with `dsketch-loadgen`) and a minimal HTTP endpoint
-//! (`GET /distance?u=..&v=..`, `GET /stats` — `curl` works) share the one
-//! port.  `--serve-seconds N` stops the server after a graceful drain
-//! (default 0: serve until killed); `--net-workers N` sets the concurrent
-//! connection bound (default 4).
+//! (`GET /distance?u=..&v=..`, `GET /stats`, `GET /metrics` for the
+//! Prometheus text exposition, `GET /trace?n=K` for recent sampled events —
+//! `curl` works) share the one port.  `--serve-seconds N` stops the server
+//! after a graceful drain (default 0: serve until killed); `--net-workers N`
+//! sets the concurrent connection bound (default 4); `--trace-sample N`
+//! samples every N-th query into the trace ring (default 0: off);
+//! `--log-json` mirrors sampled events to stdout as JSON lines.
 
 use dsketch::prelude::*;
 use dsketch_bench::workloads::{QueryWorkload, Workload, WorkloadSpec};
@@ -137,16 +140,28 @@ fn main() {
     }
     let oracle: Arc<dyn DistanceOracle> = Arc::from(outcome.sketches);
 
+    let trace_sample: u64 = arg_parse_or_exit(&args, "trace-sample", 0);
     let config = ServeConfig {
         shards,
         queue_depth: queue,
         cache_capacity: cache,
+        trace_sample,
     };
 
     if let Some(listen) = arg_value(&args, "listen") {
         let serve_seconds: u64 = arg_parse_or_exit(&args, "serve-seconds", 0);
         let net_workers: usize = arg_parse_or_exit(&args, "net-workers", 4);
-        serve_network(oracle, config, net_workers, &listen, serve_seconds);
+        let log_json = args.iter().any(|a| a == "--log-json");
+        let meta = dsketch_serve::ServeMeta::new(spec.to_string(), graph.fingerprint().to_string());
+        serve_network(
+            oracle,
+            config,
+            net_workers,
+            &listen,
+            serve_seconds,
+            log_json,
+            meta,
+        );
     }
     println!(
         "server: {} shards, queue depth {}, per-shard LRU cache {} entries\n",

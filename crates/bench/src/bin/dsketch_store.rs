@@ -283,10 +283,12 @@ fn cmd_serve(args: &[String]) {
     });
 
     let frozen = arg_frozen(args);
+    let trace_sample: u64 = arg_parse_or_exit(args, "trace-sample", 0);
     let load_started = Instant::now();
     let config = ServeConfig::default()
         .with_shards(shards)
-        .with_cache_capacity(cache);
+        .with_cache_capacity(cache)
+        .with_trace_sample(trace_sample);
     // The frozen path materializes the snapshot's label bytes straight into
     // the flat CSR layout — no BTreeMap is ever constructed between disk
     // and the serving shards (SketchServer::from_snapshot is this same
@@ -309,6 +311,15 @@ fn cmd_serve(args: &[String]) {
     if let Some(listen) = arg_value(args, "listen") {
         let serve_seconds: u64 = arg_parse_or_exit(args, "serve-seconds", 0);
         let net_workers: usize = arg_parse_or_exit(args, "net-workers", 4);
+        let log_json = args.iter().any(|a| a == "--log-json");
+        // The snapshot header names what is being served; read it without
+        // paying a second sketch decode.
+        let meta = match dsketch_store::peek_snapshot_meta(&path) {
+            Ok((spec, fingerprint)) => {
+                dsketch_serve::ServeMeta::new(spec.to_string(), fingerprint.to_string())
+            }
+            Err(_) => dsketch_serve::ServeMeta::default(),
+        };
         println!(
             "cold-started from {path} in {:.1} ms; exposing it on the network",
             load_started.elapsed().as_secs_f64() * 1e3
@@ -319,6 +330,8 @@ fn cmd_serve(args: &[String]) {
             net_workers,
             &listen,
             serve_seconds,
+            log_json,
+            meta,
         );
     }
 

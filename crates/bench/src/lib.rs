@@ -39,14 +39,19 @@ pub fn serve_network(
     net_workers: usize,
     listen: &str,
     serve_seconds: u64,
+    log_json: bool,
+    meta: dsketch_serve::ServeMeta,
 ) -> ! {
     use dsketch_serve::{NetConfig, NetServer};
     let net_workers = net_workers.max(1);
-    let server = NetServer::start(
+    let server = NetServer::start_with_meta(
         oracle,
         config,
-        NetConfig::default().with_workers(net_workers),
+        NetConfig::default()
+            .with_workers(net_workers)
+            .with_log_json(log_json),
         listen,
+        meta,
     )
     .unwrap_or_else(|e| {
         eprintln!("cannot listen on {listen}: {e}");
@@ -54,7 +59,7 @@ pub fn serve_network(
     });
     println!(
         "listening on {} — binary NETQ protocol + HTTP/1.1 (GET /distance?u=..&v=.., \
-         GET /stats) on one port, {net_workers} connection workers",
+         GET /stats, GET /metrics, GET /trace?n=K) on one port, {net_workers} connection workers",
         server.local_addr(),
     );
     if serve_seconds == 0 {

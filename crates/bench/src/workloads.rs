@@ -66,9 +66,12 @@ impl WorkloadSpec {
         WorkloadSpec { family, n, seed }
     }
 
-    /// Generate the graph.
+    /// Generate the graph.  Generation cost is charged to the global
+    /// registry (`dsketch_graph_generate_nanos{family=…}`), so experiment
+    /// runs expose graph-generation time next to build and serve cost.
     pub fn build(&self) -> Graph {
-        match self.family {
+        let started = std::time::Instant::now();
+        let graph = match self.family {
             Workload::ErdosRenyi => erdos_renyi(
                 self.n,
                 8.0 / self.n as f64,
@@ -82,7 +85,24 @@ impl WorkloadSpec {
             Workload::PowerLaw => {
                 preferential_attachment(self.n, 3, GeneratorConfig::uniform(self.seed, 1, 100))
             }
-        }
+        };
+        let registry = dsketch_obs::global();
+        let labels: &[(&str, &str)] = &[("family", self.family.name())];
+        registry
+            .histogram_with(
+                "dsketch_graph_generate_nanos",
+                "Wall time generating one workload graph.",
+                labels,
+            )
+            .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        registry
+            .counter_with(
+                "dsketch_graph_generated_total",
+                "Workload graphs generated.",
+                labels,
+            )
+            .inc();
+        graph
     }
 
     /// Generate the graph and measure its diameters (exact for `n ≤ 512`,

@@ -206,11 +206,34 @@ impl BuildTimings {
     }
 
     /// Record a phase that started at `started` and just finished.
+    ///
+    /// Besides appending to this build's own phase list, the observation
+    /// feeds the process-global [`dsketch_obs::global`] registry
+    /// (`dsketch_build_phase_nanos{phase=…}` and
+    /// `dsketch_build_items_total{phase=…}`), so long-running processes can
+    /// expose cumulative build cost over every build they ever ran.
     pub fn record(&mut self, phase: &str, items: usize, started: Instant) {
+        let elapsed = started.elapsed();
+        let registry = dsketch_obs::global();
+        let labels: &[(&str, &str)] = &[("phase", phase)];
+        registry
+            .histogram_with(
+                "dsketch_build_phase_nanos",
+                "Wall time of one batched build phase.",
+                labels,
+            )
+            .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+        registry
+            .counter_with(
+                "dsketch_build_items_total",
+                "Independent explorations batched across build phases.",
+                labels,
+            )
+            .add(items as u64);
         self.phases.push(PhaseTiming {
             phase: phase.to_string(),
             items,
-            seconds: started.elapsed().as_secs_f64(),
+            seconds: elapsed.as_secs_f64(),
         });
     }
 

@@ -1,0 +1,238 @@
+//! Fixed log₂-bucket latency histograms with lock-free recording.
+//!
+//! A [`Histogram`] is [`BUCKETS`] counters plus a running sum and maximum,
+//! all relaxed atomics.  Bucket `i` counts values in `[2^i, 2^(i+1))`
+//! (bucket 0 also takes 0, the last bucket takes everything above its
+//! floor), which spans 1 ns to ~9 minutes when values are nanoseconds —
+//! every latency this workspace can produce.  The *count* of a histogram
+//! is never stored: it is derived from the bucket array at snapshot time,
+//! so a snapshot's count always equals the sum of its buckets by
+//! construction (no torn `count`-vs-`buckets` reads).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of log₂ buckets. `2^39` ns ≈ 9.2 minutes, far beyond any
+/// single-query or single-phase duration the workspace measures.
+pub const BUCKETS: usize = 40;
+
+/// The bucket index a value lands in: `floor(log2(max(v, 1)))`, clamped to
+/// the last bucket.  Boundary values `2^i` land in bucket `i` exactly.
+pub fn bucket_index(value: u64) -> usize {
+    let floor_log2 = 63 - value.max(1).leading_zeros() as usize;
+    floor_log2.min(BUCKETS - 1)
+}
+
+/// The largest value bucket `i` holds: `2^(i+1) - 1`, or `u64::MAX` for
+/// the last (unbounded) bucket.  These are the `le` bounds the Prometheus
+/// encoder emits.
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << (index + 1)) - 1
+    }
+}
+
+#[derive(Debug)]
+struct Cells {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A shared log₂-bucket histogram handle.  Cloning shares the cells;
+/// recording is three relaxed atomic RMW operations and never locks.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    cells: Arc<Cells>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram (standalone use — e.g. the load generator's
+    /// client-side latency record; registered histograms come from
+    /// [`crate::MetricsRegistry::histogram`]).
+    pub fn new() -> Histogram {
+        Histogram {
+            cells: Arc::new(Cells {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one observation (nanoseconds, by workspace convention).
+    pub fn record(&self, value: u64) {
+        self.cells.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.cells.sum.fetch_add(value, Ordering::Relaxed);
+        self.cells.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A guard that records the elapsed nanoseconds since its creation
+    /// when dropped — the span-style way to time a scope:
+    ///
+    /// ```
+    /// # let registry = dsketch_obs::MetricsRegistry::new();
+    /// let hist = registry.histogram("dsketch_build_phase_nanos", "Phase wall time.");
+    /// {
+    ///     let _span = hist.start_span();
+    ///     // … timed work …
+    /// } // recorded here
+    /// assert_eq!(hist.snapshot().count(), 1);
+    /// ```
+    pub fn start_span(&self) -> HistogramSpan {
+        HistogramSpan {
+            histogram: self.clone(),
+            started: Instant::now(),
+        }
+    }
+
+    /// A point-in-time copy of the cells.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .cells
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.cells.sum.load(Ordering::Relaxed),
+            max: self.cells.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Times a scope into a [`Histogram`] on drop — see
+/// [`Histogram::start_span`].
+#[derive(Debug)]
+pub struct HistogramSpan {
+    histogram: Histogram,
+    started: Instant,
+}
+
+impl Drop for HistogramSpan {
+    fn drop(&mut self) {
+        self.histogram
+            .record(u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
+}
+
+/// A consistent point-in-time view of one histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts ([`BUCKETS`] entries, non-cumulative).
+    pub buckets: Vec<u64>,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations — derived from the buckets, so it always equals
+    /// their sum.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// Merge another snapshot into this one by summation (maximum for
+    /// `max`) — how per-shard histograms aggregate into totals.
+    pub fn absorb(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_values_land_in_their_bucket() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        for i in 1..BUCKETS - 1 {
+            assert_eq!(bucket_index(1u64 << i), i, "2^{i} starts bucket {i}");
+            assert_eq!(
+                bucket_index((1u64 << i) - 1),
+                i - 1,
+                "2^{i}-1 ends bucket {}",
+                i - 1
+            );
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn upper_bounds_are_inclusive_and_monotone() {
+        assert_eq!(bucket_upper_bound(0), 1);
+        assert_eq!(bucket_upper_bound(1), 3);
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i);
+            assert_eq!(bucket_index(bucket_upper_bound(i) + 1), i + 1);
+            assert!(bucket_upper_bound(i) < bucket_upper_bound(i + 1));
+        }
+    }
+
+    #[test]
+    fn count_is_derived_from_buckets() {
+        let hist = Histogram::new();
+        for value in [0, 1, 1, 5, 1023, 1024, u64::MAX] {
+            hist.record(value);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count(), 7);
+        assert_eq!(snap.buckets[0], 3, "0, 1, 1");
+        assert_eq!(snap.buckets[2], 1, "5");
+        assert_eq!(snap.buckets[9], 1, "1023");
+        assert_eq!(snap.buckets[10], 1, "1024");
+        assert_eq!(snap.buckets[BUCKETS - 1], 1, "u64::MAX");
+        assert_eq!(snap.max, u64::MAX);
+    }
+
+    #[test]
+    fn spans_record_on_drop_and_absorb_sums() {
+        let hist = Histogram::new();
+        {
+            let _span = hist.start_span();
+        }
+        let mut a = hist.snapshot();
+        assert_eq!(a.count(), 1);
+        let other = Histogram::new();
+        other.record(7);
+        other.record(9);
+        a.absorb(&other.snapshot());
+        assert_eq!(a.count(), 3);
+        assert!(a.sum >= 16);
+        assert!(a.mean() > 0.0);
+        assert_eq!(HistogramSnapshot::default().mean(), 0.0);
+    }
+}

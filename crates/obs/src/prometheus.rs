@@ -1,0 +1,227 @@
+//! Prometheus text exposition (format version 0.0.4) over registry
+//! snapshots.
+//!
+//! [`encode`] takes one or more [`MetricsSnapshot`]s — typically the
+//! [`crate::global`] registry plus a server's own — and renders the
+//! standard `# HELP` / `# TYPE` / sample-line document.  Families with the
+//! same name across snapshots are merged under one header.  Histogram
+//! series expand to cumulative `_bucket{le="…"}` lines (bounds are the
+//! inclusive integer-nanosecond bucket tops from
+//! [`crate::bucket_upper_bound`]), a `_sum`, and a `_count`.
+
+use crate::histogram::{bucket_upper_bound, HistogramSnapshot, BUCKETS};
+use crate::registry::{FamilySnapshot, MetricsSnapshot, SeriesValue};
+
+/// Render `snapshots` as one Prometheus text document.
+///
+/// ```
+/// use dsketch_obs::{prometheus, MetricsRegistry};
+///
+/// let registry = MetricsRegistry::new();
+/// registry.counter("dsketch_net_frames_in_total", "Frames read.").add(7);
+/// let text = prometheus::encode(&[&registry.snapshot()]);
+/// assert!(text.contains("# TYPE dsketch_net_frames_in_total counter"));
+/// assert!(text.contains("dsketch_net_frames_in_total 7"));
+/// ```
+pub fn encode(snapshots: &[&MetricsSnapshot]) -> String {
+    let mut out = String::new();
+    let mut emitted: Vec<&str> = Vec::new();
+    for (i, snapshot) in snapshots.iter().enumerate() {
+        for family in &snapshot.families {
+            if emitted.contains(&family.name.as_str()) {
+                continue;
+            }
+            emitted.push(&family.name);
+            encode_family(&mut out, family);
+            // Later snapshots may carry series of the same family name;
+            // fold them under this one header.
+            for other in &snapshots[i + 1..] {
+                for twin in other.families.iter().filter(|f| f.name == family.name) {
+                    encode_series(&mut out, twin);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn encode_family(out: &mut String, family: &FamilySnapshot) {
+    out.push_str("# HELP ");
+    out.push_str(&family.name);
+    out.push(' ');
+    for c in family.help.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('\n');
+    out.push_str("# TYPE ");
+    out.push_str(&family.name);
+    out.push(' ');
+    out.push_str(family.kind.type_name());
+    out.push('\n');
+    encode_series(out, family);
+}
+
+fn encode_series(out: &mut String, family: &FamilySnapshot) {
+    for series in &family.series {
+        match &series.value {
+            SeriesValue::Counter(v) => {
+                sample_line(out, &family.name, "", &series.labels, None, &v.to_string())
+            }
+            SeriesValue::Gauge(v) => {
+                sample_line(out, &family.name, "", &series.labels, None, &v.to_string())
+            }
+            SeriesValue::Histogram(h) => encode_histogram(out, &family.name, &series.labels, h),
+        }
+    }
+}
+
+fn encode_histogram(out: &mut String, name: &str, labels: &str, hist: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for (i, count) in hist.buckets.iter().enumerate().take(BUCKETS) {
+        cumulative += count;
+        let bound = bucket_upper_bound(i);
+        let le = if bound == u64::MAX {
+            "+Inf".to_string()
+        } else {
+            bound.to_string()
+        };
+        sample_line(
+            out,
+            name,
+            "_bucket",
+            labels,
+            Some(&le),
+            &cumulative.to_string(),
+        );
+    }
+    if hist.buckets.len() < BUCKETS
+        || bucket_upper_bound(hist.buckets.len().saturating_sub(1)) != u64::MAX
+    {
+        // Snapshots always carry the full bucket array, but keep the
+        // exposition well-formed even for a truncated one.
+        sample_line(
+            out,
+            name,
+            "_bucket",
+            labels,
+            Some("+Inf"),
+            &cumulative.to_string(),
+        );
+    }
+    sample_line(out, name, "_sum", labels, None, &hist.sum.to_string());
+    sample_line(out, name, "_count", labels, None, &cumulative.to_string());
+}
+
+/// One sample line: `name_suffix{labels,le="bound"} value`.
+fn sample_line(
+    out: &mut String,
+    name: &str,
+    suffix: &str,
+    labels: &str,
+    le: Option<&str>,
+    value: &str,
+) {
+    out.push_str(name);
+    out.push_str(suffix);
+    let has_labels = !labels.is_empty();
+    if has_labels || le.is_some() {
+        out.push('{');
+        out.push_str(labels);
+        if let Some(bound) = le {
+            if has_labels {
+                out.push(',');
+            }
+            out.push_str("le=\"");
+            out.push_str(bound);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn counters_and_gauges_render_plain_lines() {
+        let registry = MetricsRegistry::new();
+        registry.counter("dsketch_test_hits_total", "Hits.").add(3);
+        registry
+            .gauge("dsketch_test_queue_entries", "Depth.")
+            .set(-2);
+        registry
+            .counter_with("dsketch_test_shard_total", "Per shard.", &[("shard", "1")])
+            .add(4);
+        let text = encode(&[&registry.snapshot()]);
+        assert!(text.contains("# HELP dsketch_test_hits_total Hits.\n"));
+        assert!(text.contains("# TYPE dsketch_test_hits_total counter\n"));
+        assert!(text.contains("dsketch_test_hits_total 3\n"));
+        assert!(text.contains("dsketch_test_queue_entries -2\n"));
+        assert!(text.contains("dsketch_test_shard_total{shard=\"1\"} 4\n"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets() {
+        let registry = MetricsRegistry::new();
+        let hist = registry.histogram("dsketch_test_latency_nanos", "Latency.");
+        hist.record(1); // bucket 0 (le="1")
+        hist.record(5); // bucket 2 (le="7")
+        let text = encode(&[&registry.snapshot()]);
+        assert!(text.contains("# TYPE dsketch_test_latency_nanos histogram\n"));
+        assert!(text.contains("dsketch_test_latency_nanos_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("dsketch_test_latency_nanos_bucket{le=\"3\"} 1\n"));
+        assert!(text.contains("dsketch_test_latency_nanos_bucket{le=\"7\"} 2\n"));
+        assert!(text.contains("dsketch_test_latency_nanos_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("dsketch_test_latency_nanos_sum 6\n"));
+        assert!(text.contains("dsketch_test_latency_nanos_count 2\n"));
+    }
+
+    #[test]
+    fn labeled_histograms_put_le_last() {
+        let registry = MetricsRegistry::new();
+        registry
+            .histogram_with("dsketch_test_latency_nanos", "L.", &[("shard", "0")])
+            .record(2);
+        let text = encode(&[&registry.snapshot()]);
+        assert!(text.contains("dsketch_test_latency_nanos_bucket{shard=\"0\",le=\"3\"} 1\n"));
+        assert!(text.contains("dsketch_test_latency_nanos_sum{shard=\"0\"} 2\n"));
+        assert!(text.contains("dsketch_test_latency_nanos_count{shard=\"0\"} 1\n"));
+    }
+
+    #[test]
+    fn families_merge_across_snapshots_under_one_header() {
+        let a = MetricsRegistry::new();
+        a.counter_with("dsketch_test_shared_total", "Shared.", &[("src", "a")])
+            .add(1);
+        let b = MetricsRegistry::new();
+        b.counter_with("dsketch_test_shared_total", "Shared.", &[("src", "b")])
+            .add(2);
+        b.counter("dsketch_test_only_b_total", "Only b.").add(9);
+        let text = encode(&[&a.snapshot(), &b.snapshot()]);
+        assert_eq!(
+            text.matches("# TYPE dsketch_test_shared_total counter")
+                .count(),
+            1
+        );
+        assert!(text.contains("dsketch_test_shared_total{src=\"a\"} 1\n"));
+        assert!(text.contains("dsketch_test_shared_total{src=\"b\"} 2\n"));
+        assert!(text.contains("dsketch_test_only_b_total 9\n"));
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        let registry = MetricsRegistry::new();
+        registry.counter("dsketch_test_esc_total", "line one\nline \\two");
+        let text = encode(&[&registry.snapshot()]);
+        assert!(text.contains("# HELP dsketch_test_esc_total line one\\nline \\\\two\n"));
+    }
+}

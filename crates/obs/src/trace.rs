@@ -1,0 +1,300 @@
+//! Sampled query tracing: deterministic 1-in-N selection, structured JSON
+//! events, pluggable sinks.
+//!
+//! Sampling is a single shared atomic counter: the k-th call to
+//! [`Tracer::sample`] returns `true` iff `k ≡ 0 (mod N)`, so a run of `Q`
+//! queries emits *exactly* `⌈Q/N⌉` events — deterministic enough to assert
+//! on in tests and cheap enough (one relaxed `fetch_add`) to leave on in
+//! production paths.
+//!
+//! Every tracer owns a [`RingSink`] holding the most recent events (served
+//! by the HTTP front end as `GET /trace?n=K`) and forwards each event to
+//! any extra [`TraceSink`]s, e.g. [`StdoutSink`] for `--log-json` runs.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Receives rendered trace events (one JSON document per call).
+pub trait TraceSink: Send + Sync {
+    /// Accept one rendered event.  Must not block for long: this runs on
+    /// the query path of sampled queries.
+    fn emit(&self, json_line: &str);
+}
+
+/// A bounded in-memory buffer of the most recent events.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    events: Mutex<VecDeque<String>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (oldest evicted first).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn last(&self, n: usize) -> Vec<String> {
+        let events = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        let skip = events.len().saturating_sub(n);
+        events.iter().skip(skip).cloned().collect()
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&self, json_line: &str) {
+        let mut events = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(json_line.to_string());
+    }
+}
+
+/// Writes each event as one line on stdout — the `--log-json` sink.
+#[derive(Debug, Default)]
+pub struct StdoutSink;
+
+impl TraceSink for StdoutSink {
+    fn emit(&self, json_line: &str) {
+        println!("{json_line}");
+    }
+}
+
+/// Default capacity of a tracer's built-in ring buffer.
+const RING_CAPACITY: usize = 256;
+
+/// Deterministic 1-in-N sampler and event dispatcher.
+pub struct Tracer {
+    /// Sample every `every`-th call; 0 disables sampling entirely.
+    every: u64,
+    calls: AtomicU64,
+    ring: Arc<RingSink>,
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("every", &self.every)
+            .field("calls", &self.calls.load(Ordering::Relaxed))
+            .field("ring_len", &self.ring.len())
+            .field("extra_sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer that never samples ([`Tracer::sample`] is a single relaxed
+    /// load returning `false`).
+    pub fn disabled() -> Tracer {
+        Tracer::one_in(0)
+    }
+
+    /// Sample every `n`-th query (0 disables).  Over `Q` calls, exactly
+    /// `⌈Q/n⌉` return `true` — the 1st, the (n+1)-th, and so on.
+    pub fn one_in(n: u64) -> Tracer {
+        Tracer {
+            every: n,
+            calls: AtomicU64::new(0),
+            ring: Arc::new(RingSink::new(RING_CAPACITY)),
+            sinks: Vec::new(),
+        }
+    }
+
+    /// Forward every emitted event to `sink` as well as the ring.
+    pub fn with_sink(mut self, sink: Arc<dyn TraceSink>) -> Tracer {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Whether sampling is on at all — lets callers skip argument
+    /// preparation entirely when tracing is disabled.
+    pub fn enabled(&self) -> bool {
+        self.every != 0
+    }
+
+    /// Count this call and report whether it is a sampled one.
+    pub fn sample(&self) -> bool {
+        if self.every == 0 {
+            return false;
+        }
+        self.calls
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(self.every)
+    }
+
+    /// Render `event` and dispatch it to the ring and all extra sinks.
+    pub fn emit(&self, event: TraceEvent) {
+        let line = event.finish();
+        self.ring.emit(&line);
+        for sink in &self.sinks {
+            sink.emit(&line);
+        }
+    }
+
+    /// The most recent `n` buffered events, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<String> {
+        self.ring.last(n)
+    }
+}
+
+/// Builds one flat JSON trace event: `{"event":"kind","key":value,...}`.
+///
+/// ```
+/// use dsketch_obs::TraceEvent;
+///
+/// let line = TraceEvent::new("query")
+///     .num("shard", 2)
+///     .text("cache", "hit")
+///     .finish();
+/// assert_eq!(line, r#"{"event":"query","shard":2,"cache":"hit"}"#);
+/// ```
+#[derive(Debug)]
+pub struct TraceEvent {
+    body: String,
+}
+
+impl TraceEvent {
+    /// Start an event of the given kind.
+    pub fn new(kind: &str) -> TraceEvent {
+        let mut body = String::with_capacity(64);
+        body.push_str("{\"event\":\"");
+        push_escaped(&mut body, kind);
+        body.push('"');
+        TraceEvent { body }
+    }
+
+    /// Append an unsigned numeric field.
+    pub fn num(mut self, key: &str, value: u64) -> TraceEvent {
+        self.push_key(key);
+        self.body.push_str(&value.to_string());
+        self
+    }
+
+    /// Append a boolean field.
+    pub fn flag(mut self, key: &str, value: bool) -> TraceEvent {
+        self.push_key(key);
+        self.body.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Append a string field (JSON-escaped).
+    pub fn text(mut self, key: &str, value: &str) -> TraceEvent {
+        self.push_key(key);
+        self.body.push('"');
+        push_escaped(&mut self.body, value);
+        self.body.push('"');
+        self
+    }
+
+    /// Close the document and return the rendered line.
+    pub fn finish(mut self) -> String {
+        self.body.push('}');
+        self.body
+    }
+
+    fn push_key(&mut self, key: &str) {
+        self.body.push_str(",\"");
+        push_escaped(&mut self.body, key);
+        self.body.push_str("\":");
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_exactly_ceil_q_over_n() {
+        for (q, n, expected) in [
+            (20u64, 8u64, 3u64),
+            (16, 8, 2),
+            (1, 8, 1),
+            (0, 8, 0),
+            (7, 1, 7),
+        ] {
+            let tracer = Tracer::one_in(n);
+            let sampled = (0..q).filter(|_| tracer.sample()).count() as u64;
+            assert_eq!(sampled, expected, "Q={q} N={n}");
+            assert_eq!(sampled, q.div_ceil(n), "Q={q} N={n}");
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_never_samples() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.enabled());
+        assert!((0..100).all(|_| !tracer.sample()));
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_events() {
+        let ring = RingSink::new(3);
+        assert!(ring.is_empty());
+        for i in 0..5 {
+            ring.emit(&format!("e{i}"));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.last(2), vec!["e3".to_string(), "e4".to_string()]);
+        assert_eq!(
+            ring.last(10),
+            vec!["e2".to_string(), "e3".to_string(), "e4".to_string()]
+        );
+    }
+
+    #[test]
+    fn tracer_emits_to_ring_and_extra_sinks() {
+        let extra = Arc::new(RingSink::new(8));
+        let tracer = Tracer::one_in(1).with_sink(extra.clone());
+        tracer.emit(TraceEvent::new("query").num("u", 1));
+        tracer.emit(TraceEvent::new("query").num("u", 2));
+        assert_eq!(tracer.recent(8).len(), 2);
+        assert_eq!(extra.len(), 2);
+        assert_eq!(
+            extra.last(1),
+            vec![r#"{"event":"query","u":2}"#.to_string()]
+        );
+    }
+
+    #[test]
+    fn events_escape_strings() {
+        let line = TraceEvent::new("e")
+            .text("k", "a\"b\\c\nd")
+            .flag("ok", true)
+            .finish();
+        assert_eq!(
+            line,
+            "{\"event\":\"e\",\"k\":\"a\\\"b\\\\c\\nd\",\"ok\":true}"
+        );
+    }
+}

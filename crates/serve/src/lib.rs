@@ -84,7 +84,7 @@ pub mod net;
 mod server;
 mod stats;
 
-pub use net::{NetClient, NetConfig, NetServer, NetServerStats, NetStartError};
+pub use net::{NetClient, NetConfig, NetServer, NetServerStats, NetStartError, ServeMeta};
 pub use server::{ServeClient, ServeConfig, SketchServer};
 pub use stats::{NetStats, ServeStats, ShardStats};
 

@@ -45,11 +45,11 @@ pub(super) fn http_session(stream: &TcpStream, ctx: &WorkerCtx) {
     };
     let reply = match parse_request_line(&head) {
         Ok(target) => {
-            counters.http_requests.fetch_add(1, Ordering::Relaxed);
+            counters.http_requests.inc();
             route(&target, ctx)
         }
         Err(reply) => {
-            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            counters.protocol_errors.inc();
             reply
         }
     };
@@ -72,14 +72,14 @@ fn read_request_head(
             return Some(head);
         }
         if head.len() > MAX_HEAD_BYTES {
-            counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            counters.protocol_errors.inc();
             let reply = error_reply(431, "request-too-large", "request head exceeds 8 KiB");
             write_reply(stream, &reply, ctx, counters);
             return None;
         }
         let now = Instant::now();
         if now >= deadline {
-            counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            counters.timeouts.inc();
             return None;
         }
         let slice = (deadline - now)
@@ -92,7 +92,7 @@ fn read_request_head(
             Ok(0) => {
                 // EOF before a complete head: a garbage or truncated
                 // request.  Anything counts once as a protocol error.
-                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                counters.protocol_errors.inc();
                 return None;
             }
             Ok(n) => head.extend_from_slice(&chunk[..n]),
@@ -151,8 +151,41 @@ fn route(target: &str, ctx: &WorkerCtx) -> String {
     match path {
         "/distance" => distance_route(query, ctx),
         "/stats" => json_reply(200, &ctx.stats_document()),
-        _ => error_reply(404, "not-found", "unknown path (try /distance or /stats)"),
+        "/metrics" => text_reply(200, &ctx.metrics_document()),
+        "/trace" => trace_route(query, ctx),
+        _ => error_reply(
+            404,
+            "not-found",
+            "unknown path (try /distance, /stats, /metrics, or /trace)",
+        ),
     }
+}
+
+/// `GET /trace?n=K` — the last K (default 32) sampled trace events as a
+/// JSON array.  Each event is already a JSON document, so the body is just
+/// the events joined inside brackets.
+fn trace_route(query: &str, ctx: &WorkerCtx) -> String {
+    let mut n = 32usize;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = match pair.split_once('=') {
+            Some(kv) => kv,
+            None => return error_reply(400, "bad-request", "parameters must be key=value"),
+        };
+        if key != "n" {
+            return error_reply(400, "bad-request", format!("unknown parameter '{key}'"));
+        }
+        n = match value.parse() {
+            Ok(count) => count,
+            Err(_) => {
+                return error_reply(
+                    400,
+                    "bad-request",
+                    format!("'{value}' is not an event count (expected a usize)"),
+                )
+            }
+        };
+    }
+    json_reply(200, &format!("[{}]", ctx.trace_recent(n).join(",")))
 }
 
 /// `GET /distance?u=..&v=..`
@@ -207,6 +240,15 @@ fn distance_route(query: &str, ctx: &WorkerCtx) -> String {
 
 /// Build a complete HTTP response with a JSON body.
 fn json_reply(status: u16, body: &str) -> String {
+    reply_with_type(status, "application/json", body)
+}
+
+/// Build a complete HTTP response with a Prometheus text-format body.
+fn text_reply(status: u16, body: &str) -> String {
+    reply_with_type(status, "text/plain; version=0.0.4", body)
+}
+
+fn reply_with_type(status: u16, content_type: &str, body: &str) -> String {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -217,7 +259,7 @@ fn json_reply(status: u16, body: &str) -> String {
         _ => "Internal Server Error",
     };
     format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
         body.len()
     )
 }
@@ -234,7 +276,7 @@ fn error_reply(status: u16, code: &str, detail: impl AsRef<str>) -> String {
 }
 
 /// Escape a detail string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(super) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -254,12 +296,10 @@ fn json_escape(s: &str) -> String {
 fn write_reply(stream: &TcpStream, reply: &str, ctx: &WorkerCtx, counters: &NetCounters) {
     match wire::write_all_deadline(stream, reply.as_bytes(), ctx.read_timeout()) {
         Ok(written) => {
-            counters
-                .bytes_out
-                .fetch_add(written as u64, Ordering::Relaxed);
+            counters.bytes_out.add(written as u64);
         }
         Err(super::protocol::NetError::Timeout) => {
-            counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            counters.timeouts.inc();
         }
         Err(_) => {}
     }

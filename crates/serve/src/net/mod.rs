@@ -22,4 +22,4 @@ mod wire;
 
 pub use client::NetClient;
 pub use protocol::{NetError, Request, Response, WireError, WireErrorCode};
-pub use server::{NetConfig, NetServer, NetServerStats, NetStartError};
+pub use server::{NetConfig, NetServer, NetServerStats, NetStartError, ServeMeta};

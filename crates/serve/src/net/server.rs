@@ -48,6 +48,7 @@ use super::wire::{self, ReadOutcome};
 use crate::server::{ServeClient, ServeConfig, SketchServer};
 use crate::stats::{NetCounters, NetStats, ServeStats};
 use dsketch::{DistanceOracle, SketchError};
+use dsketch_obs::{prometheus, MetricsRegistry, StdoutSink, Tracer};
 use netgraph::{Distance, NodeId};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -75,6 +76,10 @@ pub struct NetConfig {
     /// Largest frame payload accepted, in bytes.  An oversized length
     /// prefix is rejected before any allocation.
     pub max_payload: u32,
+    /// Mirror every sampled trace event to stdout as one JSON line (the
+    /// `--log-json` flag).  Sampling itself is
+    /// [`ServeConfig::trace_sample`].
+    pub log_json: bool,
 }
 
 impl Default for NetConfig {
@@ -85,6 +90,7 @@ impl Default for NetConfig {
             read_timeout: Duration::from_secs(5),
             max_batch_pairs: 1 << 16,
             max_payload: DEFAULT_MAX_PAYLOAD,
+            log_json: false,
         }
     }
 }
@@ -111,6 +117,12 @@ impl NetConfig {
     /// Replace the per-frame batch-size bound.
     pub fn with_max_batch_pairs(mut self, pairs: usize) -> Self {
         self.max_batch_pairs = pairs;
+        self
+    }
+
+    /// Mirror sampled trace events to stdout as JSON lines.
+    pub fn with_log_json(mut self, log_json: bool) -> Self {
+        self.log_json = log_json;
         self
     }
 
@@ -183,6 +195,28 @@ impl std::fmt::Display for NetServerStats {
     }
 }
 
+/// Descriptive metadata about what a [`NetServer`] serves, reported by
+/// `GET /stats`: the parsed [`SchemeSpec`](dsketch::SchemeSpec) string and
+/// the graph fingerprint the sketches were built from.  Both default to
+/// empty (reported as `""`) when the caller has nothing to say.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeMeta {
+    /// The serving scheme spec, e.g. `"tz:3"` (empty when unknown).
+    pub spec: String,
+    /// The source graph fingerprint's display form (empty when unknown).
+    pub fingerprint: String,
+}
+
+impl ServeMeta {
+    /// Build from the two display strings.
+    pub fn new(spec: impl Into<String>, fingerprint: impl Into<String>) -> ServeMeta {
+        ServeMeta {
+            spec: spec.into(),
+            fingerprint: fingerprint.into(),
+        }
+    }
+}
+
 /// Everything a connection worker needs: its own shard-router client, the
 /// shared counters, the shutdown flag, and the oracle metadata the stats
 /// document reports.
@@ -195,6 +229,10 @@ pub(super) struct WorkerCtx {
     scheme_name: &'static str,
     num_nodes: usize,
     stretch_bound: Option<u64>,
+    registry: Arc<MetricsRegistry>,
+    tracer: Arc<Tracer>,
+    meta: Arc<ServeMeta>,
+    started_at: Instant,
 }
 
 /// The TCP front end over a [`SketchServer`].
@@ -223,11 +261,34 @@ impl NetServer {
         net_config: NetConfig,
         addr: &str,
     ) -> Result<NetServer, NetStartError> {
+        NetServer::start_with_meta(oracle, serve_config, net_config, addr, ServeMeta::default())
+    }
+
+    /// [`NetServer::start`] plus the descriptive [`ServeMeta`] reported by
+    /// `GET /stats`.
+    pub fn start_with_meta(
+        oracle: Arc<dyn DistanceOracle>,
+        serve_config: ServeConfig,
+        net_config: NetConfig,
+        addr: &str,
+        meta: ServeMeta,
+    ) -> Result<NetServer, NetStartError> {
         net_config.validate()?;
         let scheme_name = oracle.scheme_name();
         let num_nodes = oracle.num_nodes();
         let stretch_bound = oracle.stretch_bound();
-        let server = Arc::new(SketchServer::start(oracle, serve_config)?);
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut tracer = Tracer::one_in(serve_config.trace_sample);
+        if net_config.log_json {
+            tracer = tracer.with_sink(Arc::new(StdoutSink));
+        }
+        let tracer = Arc::new(tracer);
+        let server = Arc::new(SketchServer::start_with_obs(
+            oracle,
+            serve_config,
+            Arc::clone(&registry),
+            Arc::clone(&tracer),
+        )?);
         let listener = TcpListener::bind(addr).map_err(NetStartError::Bind)?;
         listener
             .set_nonblocking(true)
@@ -235,7 +296,9 @@ impl NetServer {
         let local_addr = listener.local_addr().map_err(NetStartError::Bind)?;
 
         let shutdown = Arc::new(AtomicBool::new(false));
-        let counters = Arc::new(NetCounters::default());
+        let counters = Arc::new(NetCounters::register(&registry));
+        let meta = Arc::new(meta);
+        let started_at = Instant::now();
         let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(net_config.pending_connections);
         let conn_rx = Arc::new(Mutex::new(conn_rx));
 
@@ -250,6 +313,10 @@ impl NetServer {
                 scheme_name,
                 num_nodes,
                 stretch_bound,
+                registry: Arc::clone(&registry),
+                tracer: Arc::clone(&tracer),
+                meta: Arc::clone(&meta),
+                started_at,
             };
             let rx = Arc::clone(&conn_rx);
             workers.push(dsketch::parallel::spawn_named(
@@ -345,13 +412,11 @@ fn run_accept_loop(
     while !shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                counters
-                    .connections_accepted
-                    .fetch_add(1, Ordering::Relaxed);
+                counters.connections_accepted.inc();
                 match conn_tx.try_send(stream) {
                     Ok(()) => {}
                     Err(TrySendError::Full(stream)) => {
-                        counters.connections_refused.fetch_add(1, Ordering::Relaxed);
+                        counters.connections_refused.inc();
                         drop(stream);
                     }
                     Err(TrySendError::Disconnected(stream)) => {
@@ -403,13 +468,11 @@ fn handle_connection(stream: TcpStream, ctx: &WorkerCtx) {
             // Closed before speaking, or shutdown raised while idle.
         }
         Err(NetError::Timeout) => {
-            ctx.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            ctx.counters.timeouts.inc();
         }
         Err(_) => {}
     }
-    ctx.counters
-        .connections_closed
-        .fetch_add(1, Ordering::Relaxed);
+    ctx.counters.connections_closed.inc();
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
@@ -431,10 +494,11 @@ fn binary_session(stream: &TcpStream, ctx: &WorkerCtx) {
         ) {
             Ok(ReadOutcome::Closed) => break,
             Ok(ReadOutcome::Frame(header, payload)) => {
-                ctx.counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                let roundtrip = Instant::now();
+                ctx.counters.frames_in.inc();
                 ctx.counters
                     .bytes_in
-                    .fetch_add((HEADER_LEN + payload.len()) as u64, Ordering::Relaxed);
+                    .add((HEADER_LEN + payload.len()) as u64);
                 match Request::decode(header.kind, &payload) {
                     Ok(request) => {
                         let response = answer_request(request, ctx);
@@ -445,7 +509,7 @@ fn binary_session(stream: &TcpStream, ctx: &WorkerCtx) {
                     Err(e) => {
                         // The header (and so the framing) was fine — reply
                         // with a typed error and keep the connection.
-                        ctx.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        ctx.counters.protocol_errors.inc();
                         let error =
                             Response::Error(WireError::new(WireErrorCode::BadFrame, e.to_string()));
                         if !write_response(stream, &error, ctx) {
@@ -453,9 +517,12 @@ fn binary_session(stream: &TcpStream, ctx: &WorkerCtx) {
                         }
                     }
                 }
+                ctx.counters
+                    .roundtrip
+                    .record(roundtrip.elapsed().as_nanos() as u64);
             }
             Err(NetError::Timeout) => {
-                ctx.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                ctx.counters.timeouts.inc();
                 break;
             }
             Err(
@@ -466,13 +533,13 @@ fn binary_session(stream: &TcpStream, ctx: &WorkerCtx) {
             ) => {
                 // Framing is poisoned: answer once with a typed error so
                 // the peer learns why, then close.
-                ctx.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                ctx.counters.protocol_errors.inc();
                 let error = Response::Error(WireError::new(WireErrorCode::BadFrame, e.to_string()));
                 let _ = write_response(stream, &error, ctx);
                 break;
             }
             Err(NetError::Truncated { .. }) => {
-                ctx.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                ctx.counters.protocol_errors.inc();
                 break;
             }
             Err(_) => break,
@@ -516,14 +583,12 @@ fn write_response(stream: &TcpStream, response: &Response, ctx: &WorkerCtx) -> b
     let frame = response.to_frame();
     match wire::write_all_deadline(stream, &frame, ctx.config.read_timeout) {
         Ok(written) => {
-            ctx.counters.frames_out.fetch_add(1, Ordering::Relaxed);
-            ctx.counters
-                .bytes_out
-                .fetch_add(written as u64, Ordering::Relaxed);
+            ctx.counters.frames_out.inc();
+            ctx.counters.bytes_out.add(written as u64);
             true
         }
         Err(NetError::Timeout) => {
-            ctx.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            ctx.counters.timeouts.inc();
             false
         }
         Err(_) => false,
@@ -533,27 +598,43 @@ fn write_response(stream: &TcpStream, response: &Response, ctx: &WorkerCtx) -> b
 /// The stats document served by `GET /stats` and the binary stats frame:
 /// oracle metadata, shard-router totals, and wire counters in one JSON
 /// object (hand-rolled — every value is a number or a short JSON string).
+///
+/// Every number comes from **one** registry snapshot, so the `derived`
+/// ratios are computed from exactly the values reported beside them —
+/// under concurrent load the document can never claim, say, more cache
+/// hits than queries.
 pub(crate) fn stats_json(ctx: &WorkerCtx) -> String {
-    let serve = ctx.server.stats();
-    let net = ctx.counters.snapshot();
+    let snap = ctx.registry.snapshot();
+    let serve = ServeStats::from_metrics(&snap, ctx.server.num_shards());
+    let net = NetStats::from_metrics(&snap);
     let stretch = match ctx.stretch_bound {
         Some(bound) => bound.to_string(),
         None => "null".to_string(),
     };
+    let frames_per_connection = if net.connections_accepted == 0 {
+        0.0
+    } else {
+        net.frames_in as f64 / net.connections_accepted as f64
+    };
     format!(
         concat!(
-            "{{\"scheme\":\"{}\",\"num_nodes\":{},\"stretch_bound\":{},",
+            "{{\"scheme\":\"{}\",\"spec\":\"{}\",\"graph\":\"{}\",",
+            "\"num_nodes\":{},\"stretch_bound\":{},\"uptime_seconds\":{:.3},",
             "\"serve\":{{\"queries\":{},\"cache_hits\":{},\"cache_misses\":{},",
             "\"errors\":{},\"batches\":{},\"busy_nanos\":{},\"max_latency_nanos\":{},",
             "\"shards\":{}}},",
             "\"net\":{{\"connections_accepted\":{},\"connections_refused\":{},",
             "\"connections_closed\":{},\"frames_in\":{},\"frames_out\":{},",
             "\"http_requests\":{},\"bytes_in\":{},\"bytes_out\":{},",
-            "\"timeouts\":{},\"protocol_errors\":{}}}}}"
+            "\"timeouts\":{},\"protocol_errors\":{}}},",
+            "\"derived\":{{\"hit_rate\":{:.6},\"frames_per_connection\":{:.3}}}}}"
         ),
         ctx.scheme_name,
+        http::json_escape(&ctx.meta.spec),
+        http::json_escape(&ctx.meta.fingerprint),
         ctx.num_nodes,
         stretch,
+        ctx.started_at.elapsed().as_secs_f64(),
         serve.totals.queries,
         serve.totals.cache_hits,
         serve.totals.cache_misses,
@@ -572,6 +653,8 @@ pub(crate) fn stats_json(ctx: &WorkerCtx) -> String {
         net.bytes_out,
         net.timeouts,
         net.protocol_errors,
+        serve.totals.hit_rate(),
+        frames_per_connection,
     )
 }
 
@@ -600,5 +683,17 @@ impl WorkerCtx {
 
     pub(super) fn stats_document(&self) -> String {
         stats_json(self)
+    }
+
+    /// The Prometheus text document for `GET /metrics`: the process-global
+    /// registry (build, graph, store instruments) plus this server's own
+    /// (shard and wire instruments).
+    pub(super) fn metrics_document(&self) -> String {
+        prometheus::encode(&[&dsketch_obs::global().snapshot(), &self.registry.snapshot()])
+    }
+
+    /// The most recent `n` sampled trace events, oldest first.
+    pub(super) fn trace_recent(&self, n: usize) -> Vec<String> {
+        self.tracer.recent(n)
     }
 }

@@ -24,14 +24,15 @@
 use crate::cache::LruCache;
 use crate::stats::{ServeStats, ShardCounters};
 use dsketch::{DistanceOracle, SketchError};
+use dsketch_obs::{Gauge, MetricsRegistry, TraceEvent, Tracer};
 use netgraph::{Distance, NodeId};
-use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// Sizing of a [`SketchServer`]: shard count, queue depth, cache capacity.
+/// Sizing of a [`SketchServer`]: shard count, queue depth, cache capacity,
+/// trace sampling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Number of worker shards (threads).  Must be ≥ 1.
@@ -43,6 +44,9 @@ pub struct ServeConfig {
     /// Capacity of each shard's LRU result cache, in entries.  `0` disables
     /// caching (every query consults the oracle).
     pub cache_capacity: usize,
+    /// Sample every N-th query into the server's [`Tracer`] (a structured
+    /// JSON event per sampled query).  `0` disables tracing.
+    pub trace_sample: u64,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +55,7 @@ impl Default for ServeConfig {
             shards: 4,
             queue_depth: 64,
             cache_capacity: 4096,
+            trace_sample: 0,
         }
     }
 }
@@ -71,6 +76,12 @@ impl ServeConfig {
     /// Replace the per-shard cache capacity (`0` disables caching).
     pub fn with_cache_capacity(mut self, cache_capacity: usize) -> Self {
         self.cache_capacity = cache_capacity;
+        self
+    }
+
+    /// Sample every `n`-th query into the server's tracer (`0` disables).
+    pub fn with_trace_sample(mut self, n: u64) -> Self {
+        self.trace_sample = n;
         self
     }
 
@@ -127,36 +138,51 @@ fn shard_of(u: NodeId, v: NodeId, shards: usize) -> usize {
 
 /// The worker loop: drain batches, answer each pair cache-first, reply.
 fn run_worker(
+    shard: usize,
     oracle: Arc<dyn DistanceOracle>,
     rx: Receiver<Job>,
-    counters: Arc<ShardCounters>,
+    counters: ShardCounters,
+    tracer: Arc<Tracer>,
     cache_capacity: usize,
 ) {
     let mut cache: LruCache<(NodeId, NodeId), Distance> = LruCache::new(cache_capacity);
     while let Ok(job) = rx.recv() {
-        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters.queue_entries.sub(1);
+        counters.batches.inc();
         let mut results = Vec::with_capacity(job.pairs.len());
         for &(index, u, v) in &job.pairs {
             let start = Instant::now();
             let key = canonical(u, v);
-            let result = match cache.get(&key) {
+            let (result, cache_hit) = match cache.get(&key) {
                 Some(&distance) => {
-                    counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    Ok(distance)
+                    counters.cache_hits.inc();
+                    (Ok(distance), true)
                 }
                 None => {
-                    counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    counters.cache_misses.inc();
                     let result = oracle.estimate(u, v);
                     if let Ok(distance) = result {
                         cache.insert(key, distance);
                     }
-                    result
+                    (result, false)
                 }
             };
-            counters.record_latency(start.elapsed().as_nanos() as u64);
-            counters.queries.fetch_add(1, Ordering::Relaxed);
+            let nanos = start.elapsed().as_nanos() as u64;
+            counters.record_latency(nanos);
+            counters.queries.inc();
             if result.is_err() {
-                counters.errors.fetch_add(1, Ordering::Relaxed);
+                counters.errors.inc();
+            }
+            if tracer.sample() {
+                tracer.emit(
+                    TraceEvent::new("query")
+                        .num("shard", shard as u64)
+                        .num("u", u64::from(u.0))
+                        .num("v", u64::from(v.0))
+                        .text("cache", if cache_hit { "hit" } else { "miss" })
+                        .num("nanos", nanos)
+                        .flag("ok", result.is_ok()),
+                );
             }
             results.push((index, result));
         }
@@ -176,12 +202,16 @@ fn run_worker(
 pub struct SketchServer {
     senders: Vec<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
-    counters: Vec<Arc<ShardCounters>>,
+    counters: Vec<ShardCounters>,
+    registry: Arc<MetricsRegistry>,
+    tracer: Arc<Tracer>,
     config: ServeConfig,
 }
 
 impl SketchServer {
-    /// Spawn the worker shards over `oracle`.
+    /// Spawn the worker shards over `oracle`, with a fresh per-server
+    /// [`MetricsRegistry`] and a tracer honoring
+    /// [`ServeConfig::trace_sample`].
     ///
     /// Fails with [`SketchError::InvalidParameters`] when the config asks
     /// for zero shards or a zero queue depth.
@@ -189,19 +219,43 @@ impl SketchServer {
         oracle: Arc<dyn DistanceOracle>,
         config: ServeConfig,
     ) -> Result<SketchServer, SketchError> {
+        let tracer = Arc::new(Tracer::one_in(config.trace_sample));
+        SketchServer::start_with_obs(oracle, config, Arc::new(MetricsRegistry::new()), tracer)
+    }
+
+    /// [`SketchServer::start`] with caller-supplied observability: the
+    /// shard instruments register in `registry` (so a front end can expose
+    /// them next to its own wire instruments) and sampled query events go
+    /// to `tracer`.
+    pub fn start_with_obs(
+        oracle: Arc<dyn DistanceOracle>,
+        config: ServeConfig,
+        registry: Arc<MetricsRegistry>,
+        tracer: Arc<Tracer>,
+    ) -> Result<SketchServer, SketchError> {
         config.validate()?;
         let mut senders = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         let mut counters = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
             let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
-            let shard_counters = Arc::new(ShardCounters::default());
+            let shard_counters = ShardCounters::register(&registry, shard);
             let worker_oracle = Arc::clone(&oracle);
-            let worker_counters = Arc::clone(&shard_counters);
+            let worker_counters = shard_counters.clone();
+            let worker_tracer = Arc::clone(&tracer);
             let cache_capacity = config.cache_capacity;
             workers.push(dsketch::parallel::spawn_named(
                 &format!("dsketch-serve-{shard}"),
-                move || run_worker(worker_oracle, rx, worker_counters, cache_capacity),
+                move || {
+                    run_worker(
+                        shard,
+                        worker_oracle,
+                        rx,
+                        worker_counters,
+                        worker_tracer,
+                        cache_capacity,
+                    )
+                },
             ));
             senders.push(tx);
             counters.push(shard_counters);
@@ -210,6 +264,8 @@ impl SketchServer {
             senders,
             workers,
             counters,
+            registry,
+            tracer,
             config,
         })
     }
@@ -243,6 +299,16 @@ impl SketchServer {
         &self.config
     }
 
+    /// The registry holding this server's `dsketch_serve_*` instruments.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The tracer receiving this server's sampled query events.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
     /// Number of worker shards.
     pub fn num_shards(&self) -> usize {
         self.counters.len()
@@ -254,6 +320,11 @@ impl SketchServer {
     pub fn client(&self) -> ServeClient {
         ServeClient {
             senders: self.senders.clone(),
+            queue_entries: self
+                .counters
+                .iter()
+                .map(|c| c.queue_entries.clone())
+                .collect(),
         }
     }
 
@@ -295,6 +366,9 @@ impl Drop for SketchServer {
 #[derive(Clone)]
 pub struct ServeClient {
     senders: Vec<SyncSender<Job>>,
+    /// Per-shard queue-depth gauges: incremented on send, decremented by
+    /// the worker when it drains the batch.
+    queue_entries: Vec<Gauge>,
 }
 
 impl ServeClient {
@@ -327,6 +401,7 @@ impl ServeClient {
             if shard_pairs.is_empty() {
                 continue;
             }
+            self.queue_entries[shard].add(1);
             self.senders[shard]
                 .send(Job {
                     pairs: shard_pairs,
@@ -485,6 +560,46 @@ mod tests {
         assert!(client.query_batch(&[]).is_empty());
         drop(client);
         assert_eq!(server.shutdown().totals.queries, 0);
+    }
+
+    #[test]
+    fn sampled_tracing_emits_exactly_ceil_q_over_n_events() {
+        let server = SketchServer::start(
+            oracle(),
+            ServeConfig::default().with_shards(1).with_trace_sample(8),
+        )
+        .unwrap();
+        let client = server.client();
+        for u in 0..20u32 {
+            let _ = client.query(NodeId(u % 10), NodeId((u + 1) % 10));
+        }
+        drop(client);
+        let events = server.tracer().recent(usize::MAX);
+        assert_eq!(events.len(), 3, "20 queries at 1-in-8 sample 3 events");
+        assert!(events.iter().all(|e| e.contains("\"event\":\"query\"")));
+        assert!(events[0].contains("\"cache\":\"miss\""));
+    }
+
+    #[test]
+    fn server_metrics_appear_in_the_registry() {
+        let server = SketchServer::start(oracle(), ServeConfig::default()).unwrap();
+        let client = server.client();
+        for u in 0..10u32 {
+            client.query(NodeId(u), NodeId(u + 1)).unwrap();
+        }
+        let snap = server.registry().snapshot();
+        assert_eq!(snap.counter_sum("dsketch_serve_queries_total"), 10);
+        assert_eq!(
+            snap.histogram_total("dsketch_serve_query_latency_nanos")
+                .count(),
+            10,
+            "one latency observation per query"
+        );
+        // All batches drained: the queue gauges read zero.
+        for shard in 0..server.num_shards() {
+            let labels = format!("shard=\"{shard}\"");
+            assert_eq!(snap.gauge("dsketch_serve_queue_entries", &labels), Some(0));
+        }
     }
 
     #[test]

@@ -5,8 +5,18 @@
 //! [`ServeStats`] per server — the aggregate [`ShardStats`] plus the
 //! per-shard breakdown — so experiment tables can put build cost and serve
 //! cost side by side.
+//!
+//! Since the observability refactor the live cells behind these snapshots
+//! are instruments in the server's [`MetricsRegistry`]: the internal
+//! counter structs hold cheap [`Counter`]/[`Gauge`]/[`Histogram`] handles
+//! registered under the `dsketch_serve_*` / `dsketch_net_*` families, and
+//! the public snapshot types here are *views* computed from those
+//! instruments.  [`ServeStats::from_metrics`] / [`NetStats::from_metrics`]
+//! rebuild the same views from one registry snapshot, which is how
+//! `GET /stats` guarantees every number in one response was read at one
+//! moment.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use dsketch_obs::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 
 /// Counters for one query shard (or, via [`ShardStats::absorb`], a sum over
 /// shards).  A plain snapshot value, like `RunStats` on the build side.
@@ -90,6 +100,45 @@ impl ServeStats {
         let mean = self.totals.queries as f64 / n as f64;
         max as f64 / mean
     }
+
+    /// Rebuild the per-shard view from one registry snapshot — every number
+    /// comes from the same [`MetricsSnapshot`], so the derived ratios
+    /// (`hit_rate`, queries-per-batch) are internally consistent no matter
+    /// how hard the workers are writing concurrently.
+    pub(crate) fn from_metrics(snap: &MetricsSnapshot, shards: usize) -> ServeStats {
+        let mut per_shard = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let labels = format!("shard=\"{shard}\"");
+            let latency = snap
+                .histogram("dsketch_serve_query_latency_nanos", &labels)
+                .cloned()
+                .unwrap_or_default();
+            per_shard.push(ShardStats {
+                queries: snap
+                    .counter("dsketch_serve_queries_total", &labels)
+                    .unwrap_or(0),
+                cache_hits: snap
+                    .counter("dsketch_serve_cache_hits_total", &labels)
+                    .unwrap_or(0),
+                cache_misses: snap
+                    .counter("dsketch_serve_cache_misses_total", &labels)
+                    .unwrap_or(0),
+                errors: snap
+                    .counter("dsketch_serve_errors_total", &labels)
+                    .unwrap_or(0),
+                batches: snap
+                    .counter("dsketch_serve_batches_total", &labels)
+                    .unwrap_or(0),
+                busy_nanos: latency.sum,
+                max_latency_nanos: latency.max,
+            });
+        }
+        let mut totals = ShardStats::default();
+        for shard in &per_shard {
+            totals.absorb(shard);
+        }
+        ServeStats { totals, per_shard }
+    }
 }
 
 impl std::fmt::Display for ServeStats {
@@ -113,10 +162,10 @@ impl std::fmt::Display for ServeStats {
 /// in-process [`ShardStats`] cannot see because it begins at the shard
 /// queues — sockets, frames, bytes, timeouts.
 ///
-/// A plain snapshot value like [`ShardStats`]; the live atomics live in
-/// the server's internal counters.  `GET /stats` serves both this and the shard totals in
-/// one JSON document, so wire cost and dispatch cost can be read side by
-/// side.
+/// A plain snapshot value like [`ShardStats`]; the live cells are
+/// `dsketch_net_*` instruments in the server's registry.  `GET /stats`
+/// serves both this and the shard totals in one JSON document, so wire
+/// cost and dispatch cost can be read side by side.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Connections the listener accepted.
@@ -147,6 +196,26 @@ pub struct NetStats {
     pub protocol_errors: u64,
 }
 
+impl NetStats {
+    /// Rebuild the wire view from one registry snapshot (same consistency
+    /// contract as [`ServeStats::from_metrics`]).
+    pub(crate) fn from_metrics(snap: &MetricsSnapshot) -> NetStats {
+        let read = |name: &str| snap.counter(name, "").unwrap_or(0);
+        NetStats {
+            connections_accepted: read("dsketch_net_connections_accepted_total"),
+            connections_refused: read("dsketch_net_connections_refused_total"),
+            connections_closed: read("dsketch_net_connections_closed_total"),
+            frames_in: read("dsketch_net_frames_in_total"),
+            frames_out: read("dsketch_net_frames_out_total"),
+            http_requests: read("dsketch_net_http_requests_total"),
+            bytes_in: read("dsketch_net_bytes_in_total"),
+            bytes_out: read("dsketch_net_bytes_out_total"),
+            timeouts: read("dsketch_net_timeouts_total"),
+            protocol_errors: read("dsketch_net_protocol_errors_total"),
+        }
+    }
+}
+
 impl std::fmt::Display for NetStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -167,70 +236,161 @@ impl std::fmt::Display for NetStats {
     }
 }
 
-/// The live, shared atomics behind [`NetStats`], written by the accept
-/// loop and the connection workers.  Relaxed ordering: monotone counters
-/// read only for reporting, like [`ShardCounters`].
-#[derive(Debug, Default)]
+/// The live instrument handles behind [`NetStats`], written by the accept
+/// loop and the connection workers.  Every handle is a registered
+/// `dsketch_net_*` series; recording is relaxed-atomic and lock-free.
+#[derive(Debug, Clone, Default)]
 pub(crate) struct NetCounters {
-    pub connections_accepted: AtomicU64,
-    pub connections_refused: AtomicU64,
-    pub connections_closed: AtomicU64,
-    pub frames_in: AtomicU64,
-    pub frames_out: AtomicU64,
-    pub http_requests: AtomicU64,
-    pub bytes_in: AtomicU64,
-    pub bytes_out: AtomicU64,
-    pub timeouts: AtomicU64,
-    pub protocol_errors: AtomicU64,
+    pub connections_accepted: Counter,
+    pub connections_refused: Counter,
+    pub connections_closed: Counter,
+    pub frames_in: Counter,
+    pub frames_out: Counter,
+    pub http_requests: Counter,
+    pub bytes_in: Counter,
+    pub bytes_out: Counter,
+    pub timeouts: Counter,
+    pub protocol_errors: Counter,
+    /// Full binary request→response round trip, read to flush.
+    pub roundtrip: Histogram,
 }
 
 impl NetCounters {
+    /// Register every wire instrument in `registry` and return the handles.
+    pub(crate) fn register(registry: &MetricsRegistry) -> NetCounters {
+        NetCounters {
+            connections_accepted: registry.counter(
+                "dsketch_net_connections_accepted_total",
+                "Connections the listener accepted.",
+            ),
+            connections_refused: registry.counter(
+                "dsketch_net_connections_refused_total",
+                "Accepted connections dropped because the worker hand-off queue was full.",
+            ),
+            connections_closed: registry.counter(
+                "dsketch_net_connections_closed_total",
+                "Connections that reached end of service.",
+            ),
+            frames_in: registry.counter(
+                "dsketch_net_frames_in_total",
+                "Well-framed binary request frames read.",
+            ),
+            frames_out: registry.counter(
+                "dsketch_net_frames_out_total",
+                "Binary response frames written.",
+            ),
+            http_requests: registry
+                .counter("dsketch_net_http_requests_total", "HTTP requests parsed."),
+            bytes_in: registry.counter("dsketch_net_bytes_in_total", "Bytes read from sockets."),
+            bytes_out: registry.counter("dsketch_net_bytes_out_total", "Bytes written to sockets."),
+            timeouts: registry.counter(
+                "dsketch_net_timeouts_total",
+                "Connections closed because a read or write deadline expired.",
+            ),
+            protocol_errors: registry.counter(
+                "dsketch_net_protocol_errors_total",
+                "Malformed inputs answered with a typed error.",
+            ),
+            roundtrip: registry.histogram(
+                "dsketch_net_roundtrip_nanos",
+                "Binary request round trip: frame read to response flush.",
+            ),
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> NetStats {
         NetStats {
-            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
-            connections_refused: self.connections_refused.load(Ordering::Relaxed),
-            connections_closed: self.connections_closed.load(Ordering::Relaxed),
-            frames_in: self.frames_in.load(Ordering::Relaxed),
-            frames_out: self.frames_out.load(Ordering::Relaxed),
-            http_requests: self.http_requests.load(Ordering::Relaxed),
-            bytes_in: self.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.value(),
+            connections_refused: self.connections_refused.value(),
+            connections_closed: self.connections_closed.value(),
+            frames_in: self.frames_in.value(),
+            frames_out: self.frames_out.value(),
+            http_requests: self.http_requests.value(),
+            bytes_in: self.bytes_in.value(),
+            bytes_out: self.bytes_out.value(),
+            timeouts: self.timeouts.value(),
+            protocol_errors: self.protocol_errors.value(),
         }
     }
 }
 
-/// The live, shared counters one worker thread writes and [`ServeStats`]
-/// snapshots read.  Relaxed ordering is enough: counters are monotone and
-/// read only for reporting.
-#[derive(Debug, Default)]
+/// The live instrument handles one worker thread writes and [`ServeStats`]
+/// snapshots read.  Every handle is a registered `dsketch_serve_*` series
+/// labeled with the shard index.
+#[derive(Debug, Clone, Default)]
 pub(crate) struct ShardCounters {
-    pub queries: AtomicU64,
-    pub cache_hits: AtomicU64,
-    pub cache_misses: AtomicU64,
-    pub errors: AtomicU64,
-    pub batches: AtomicU64,
-    pub busy_nanos: AtomicU64,
-    pub max_latency_nanos: AtomicU64,
+    pub queries: Counter,
+    pub cache_hits: Counter,
+    pub cache_misses: Counter,
+    pub errors: Counter,
+    pub batches: Counter,
+    /// Per-query service time; its sum and max are `busy_nanos` and
+    /// `max_latency_nanos` in the snapshot view.
+    latency: Histogram,
+    /// Batches currently queued (sent but not yet drained by the worker).
+    pub queue_entries: Gauge,
 }
 
 impl ShardCounters {
+    /// Register this shard's instruments in `registry` and return the
+    /// handles.
+    pub(crate) fn register(registry: &MetricsRegistry, shard: usize) -> ShardCounters {
+        let shard_label = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", &shard_label)];
+        ShardCounters {
+            queries: registry.counter_with(
+                "dsketch_serve_queries_total",
+                "Queries answered (including failed ones).",
+                labels,
+            ),
+            cache_hits: registry.counter_with(
+                "dsketch_serve_cache_hits_total",
+                "Queries answered from the shard's LRU cache.",
+                labels,
+            ),
+            cache_misses: registry.counter_with(
+                "dsketch_serve_cache_misses_total",
+                "Queries that had to consult the oracle.",
+                labels,
+            ),
+            errors: registry.counter_with(
+                "dsketch_serve_errors_total",
+                "Queries that returned an error.",
+                labels,
+            ),
+            batches: registry.counter_with(
+                "dsketch_serve_batches_total",
+                "Batches (channel messages) processed.",
+                labels,
+            ),
+            latency: registry.histogram_with(
+                "dsketch_serve_query_latency_nanos",
+                "Per-query service time: cache lookup plus oracle estimate.",
+                labels,
+            ),
+            queue_entries: registry.gauge_with(
+                "dsketch_serve_queue_entries",
+                "Batches currently queued for this shard.",
+                labels,
+            ),
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> ShardStats {
+        let latency = self.latency.snapshot();
         ShardStats {
-            queries: self.queries.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
-            max_latency_nanos: self.max_latency_nanos.load(Ordering::Relaxed),
+            queries: self.queries.value(),
+            cache_hits: self.cache_hits.value(),
+            cache_misses: self.cache_misses.value(),
+            errors: self.errors.value(),
+            batches: self.batches.value(),
+            busy_nanos: latency.sum,
+            max_latency_nanos: latency.max,
         }
     }
 
     pub(crate) fn record_latency(&self, nanos: u64) {
-        self.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
-        self.max_latency_nanos.fetch_max(nanos, Ordering::Relaxed);
+        self.latency.record(nanos);
     }
 }
 
@@ -281,8 +441,9 @@ mod tests {
 
     #[test]
     fn counters_snapshot_round_trips() {
-        let counters = ShardCounters::default();
-        counters.queries.fetch_add(3, Ordering::Relaxed);
+        let registry = MetricsRegistry::new();
+        let counters = ShardCounters::register(&registry, 0);
+        counters.queries.add(3);
         counters.record_latency(50);
         counters.record_latency(10);
         let snap = counters.snapshot();
@@ -292,37 +453,60 @@ mod tests {
     }
 
     #[test]
+    fn serve_stats_rebuild_from_one_registry_snapshot() {
+        let registry = MetricsRegistry::new();
+        let shard0 = ShardCounters::register(&registry, 0);
+        let shard1 = ShardCounters::register(&registry, 1);
+        shard0.queries.add(4);
+        shard0.cache_hits.add(1);
+        shard0.cache_misses.add(3);
+        shard0.batches.inc();
+        shard0.record_latency(100);
+        shard1.queries.add(2);
+        shard1.cache_misses.add(2);
+        shard1.errors.inc();
+        shard1.batches.inc();
+        shard1.record_latency(900);
+        let stats = ServeStats::from_metrics(&registry.snapshot(), 2);
+        assert_eq!(stats.num_shards(), 2);
+        assert_eq!(stats.per_shard[0].queries, 4);
+        assert_eq!(stats.per_shard[1].errors, 1);
+        assert_eq!(stats.totals.queries, 6);
+        assert_eq!(stats.totals.cache_hits + stats.totals.cache_misses, 6);
+        assert_eq!(stats.totals.busy_nanos, 1000);
+        assert_eq!(stats.totals.max_latency_nanos, 900);
+    }
+
+    #[test]
     fn net_counters_snapshot_exact_counts() {
-        let counters = NetCounters::default();
-        counters
-            .connections_accepted
-            .fetch_add(3, Ordering::Relaxed);
-        counters.connections_refused.fetch_add(1, Ordering::Relaxed);
-        counters.connections_closed.fetch_add(2, Ordering::Relaxed);
-        counters.frames_in.fetch_add(10, Ordering::Relaxed);
-        counters.frames_out.fetch_add(11, Ordering::Relaxed);
-        counters.http_requests.fetch_add(4, Ordering::Relaxed);
-        counters.bytes_in.fetch_add(1200, Ordering::Relaxed);
-        counters.bytes_out.fetch_add(3400, Ordering::Relaxed);
-        counters.timeouts.fetch_add(5, Ordering::Relaxed);
-        counters.protocol_errors.fetch_add(6, Ordering::Relaxed);
-        let snap = counters.snapshot();
-        assert_eq!(
-            snap,
-            NetStats {
-                connections_accepted: 3,
-                connections_refused: 1,
-                connections_closed: 2,
-                frames_in: 10,
-                frames_out: 11,
-                http_requests: 4,
-                bytes_in: 1200,
-                bytes_out: 3400,
-                timeouts: 5,
-                protocol_errors: 6,
-            }
-        );
-        let text = snap.to_string();
+        let registry = MetricsRegistry::new();
+        let counters = NetCounters::register(&registry);
+        counters.connections_accepted.add(3);
+        counters.connections_refused.add(1);
+        counters.connections_closed.add(2);
+        counters.frames_in.add(10);
+        counters.frames_out.add(11);
+        counters.http_requests.add(4);
+        counters.bytes_in.add(1200);
+        counters.bytes_out.add(3400);
+        counters.timeouts.add(5);
+        counters.protocol_errors.add(6);
+        let expected = NetStats {
+            connections_accepted: 3,
+            connections_refused: 1,
+            connections_closed: 2,
+            frames_in: 10,
+            frames_out: 11,
+            http_requests: 4,
+            bytes_in: 1200,
+            bytes_out: 3400,
+            timeouts: 5,
+            protocol_errors: 6,
+        };
+        assert_eq!(counters.snapshot(), expected);
+        // The registry-snapshot view reads back the same numbers.
+        assert_eq!(NetStats::from_metrics(&registry.snapshot()), expected);
+        let text = counters.snapshot().to_string();
         assert!(text.contains("3 conns accepted"));
         assert!(text.contains("1 refused"));
         assert!(text.contains("1200 B in / 3400 B out"));

@@ -81,8 +81,8 @@ pub use error::StoreError;
 pub use format::{SectionId, FORMAT_VERSION, MAGIC, SECTION_BUILD_STATS, SECTION_SKETCHES};
 pub use pipeline::{
     build_and_save, build_and_save_from_edge_list, build_stored, inspect_snapshot,
-    load_frozen_oracle, load_oracle, load_oracle_for_graph, load_snapshot, read_frozen_oracle,
-    read_snapshot, save_snapshot, write_snapshot, SectionEntities, SnapshotContents,
-    SnapshotSummary, StoredSketches,
+    load_frozen_oracle, load_oracle, load_oracle_for_graph, load_snapshot, peek_snapshot_meta,
+    read_frozen_oracle, read_snapshot, save_snapshot, write_snapshot, SectionEntities,
+    SnapshotContents, SnapshotSummary, StoredSketches,
 };
 pub use snapshot::{RawSnapshot, SnapshotReader, SnapshotWriter};

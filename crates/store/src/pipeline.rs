@@ -177,12 +177,27 @@ impl SnapshotContents {
 
 /// Serialize `contents` to any writer.  Returns the bytes written.
 pub fn write_snapshot<W: Write>(writer: W, contents: &SnapshotContents) -> Result<u64, StoreError> {
+    let started = std::time::Instant::now();
     let mut snapshot = SnapshotWriter::new(contents.spec, contents.fingerprint);
     snapshot.add_section(SECTION_SKETCHES, contents.sketches.encode_payload());
     if let Some(stats) = &contents.build_stats {
         snapshot.add_section(SECTION_BUILD_STATS, stats.to_bytes());
     }
-    snapshot.write_to(writer)
+    let written = snapshot.write_to(writer)?;
+    let registry = dsketch_obs::global();
+    registry
+        .histogram(
+            "dsketch_store_snapshot_save_nanos",
+            "Wall time encoding and writing one DSK1 snapshot.",
+        )
+        .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    registry
+        .counter(
+            "dsketch_store_save_bytes_total",
+            "Snapshot bytes written (headers, sections, checksums).",
+        )
+        .add(written);
+    Ok(written)
 }
 
 /// Serialize `contents` to the file at `path`.  Returns the bytes written.
@@ -196,13 +211,51 @@ pub fn save_snapshot<P: AsRef<Path>>(
 
 /// Read, verify and decode a snapshot from any reader.
 pub fn read_snapshot<R: Read>(reader: R) -> Result<SnapshotContents, StoreError> {
-    decode_raw(SnapshotReader::new(reader).read()?)
+    let started = std::time::Instant::now();
+    let contents = decode_raw(SnapshotReader::new(reader).read()?)?;
+    record_snapshot_load(started);
+    Ok(contents)
+}
+
+/// Charge one completed snapshot load to the global registry.
+fn record_snapshot_load(started: std::time::Instant) {
+    dsketch_obs::global()
+        .histogram(
+            "dsketch_store_snapshot_load_nanos",
+            "Wall time reading, verifying, and decoding one DSK1 snapshot.",
+        )
+        .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+}
+
+/// Charge successfully loaded snapshot bytes to the global registry.
+fn record_snapshot_load_bytes(bytes: u64) {
+    dsketch_obs::global()
+        .counter(
+            "dsketch_store_load_bytes_total",
+            "Snapshot bytes read from disk by successful loads.",
+        )
+        .add(bytes);
 }
 
 /// Read, verify and decode the snapshot at `path`.
 pub fn load_snapshot<P: AsRef<Path>>(path: P) -> Result<SnapshotContents, StoreError> {
     let file = std::fs::File::open(path)?;
-    read_snapshot(std::io::BufReader::new(file))
+    let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+    let contents = read_snapshot(std::io::BufReader::new(file))?;
+    record_snapshot_load_bytes(bytes);
+    Ok(contents)
+}
+
+/// Read just the header of the snapshot at `path` — its [`SchemeSpec`] and
+/// graph [`GraphFingerprint`] — verifying checksums but never decoding the
+/// sketch payload.  This is how a serving front end learns *what* it is
+/// about to serve without paying the decode twice.
+pub fn peek_snapshot_meta<P: AsRef<Path>>(
+    path: P,
+) -> Result<(SchemeSpec, GraphFingerprint), StoreError> {
+    let file = std::fs::File::open(path)?;
+    let raw = SnapshotReader::new(std::io::BufReader::new(file)).read()?;
+    Ok((raw.spec(), raw.fingerprint()))
 }
 
 fn decode_raw(raw: RawSnapshot) -> Result<SnapshotContents, StoreError> {
@@ -243,11 +296,15 @@ pub fn load_oracle<P: AsRef<Path>>(path: P) -> Result<Box<dyn DistanceOracle>, S
 /// in-memory layout differs.
 pub fn load_frozen_oracle<P: AsRef<Path>>(path: P) -> Result<Box<dyn DistanceOracle>, StoreError> {
     let file = std::fs::File::open(path)?;
-    read_frozen_oracle(std::io::BufReader::new(file))
+    let bytes = file.metadata().map(|m| m.len()).unwrap_or(0);
+    let oracle = read_frozen_oracle(std::io::BufReader::new(file))?;
+    record_snapshot_load_bytes(bytes);
+    Ok(oracle)
 }
 
 /// [`load_frozen_oracle`] over any reader.
 pub fn read_frozen_oracle<R: Read>(reader: R) -> Result<Box<dyn DistanceOracle>, StoreError> {
+    let started = std::time::Instant::now();
     let raw = SnapshotReader::new(reader).read()?;
     let spec = raw.spec();
     let flat = FlatSketchSet::from_family_bytes(&spec, raw.require_section(SECTION_SKETCHES)?)
@@ -255,6 +312,7 @@ pub fn read_frozen_oracle<R: Read>(reader: R) -> Result<Box<dyn DistanceOracle>,
             section: SECTION_SKETCHES,
             source,
         })?;
+    record_snapshot_load(started);
     Ok(Box::new(flat))
 }
 

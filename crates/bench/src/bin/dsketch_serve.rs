@@ -156,11 +156,14 @@ fn main() {
         serve_network(
             oracle,
             config,
-            net_workers,
-            &listen,
-            serve_seconds,
-            log_json,
+            dsketch_bench::NetServeOptions {
+                net_workers,
+                listen: &listen,
+                serve_seconds,
+                log_json,
+            },
             meta,
+            Some((spec, graph.fingerprint())),
         );
     }
     println!(

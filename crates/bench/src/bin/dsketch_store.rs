@@ -30,6 +30,12 @@
 //! # cold-start a sharded server from the snapshot and replay traffic
 //! cargo run --release -p dsketch-bench --bin dsketch-store -- \
 //!     serve --snapshot g.dsk --queries 100000 --shards 4
+//!
+//! # keep g.dsk fresh against an evolving edge list, hot-swapping a live
+//! # server whenever the graph's fingerprint moves
+//! cargo run --release -p dsketch-bench --bin dsketch-store -- \
+//!     watch --graph graph.txt --scheme tz:3 --snapshot g.dsk \
+//!     --server 127.0.0.1:7421 --interval-ms 2000
 //! ```
 //!
 //! `build` flags: `--scheme`, `--out`, and either `--edges <path>` (load a
@@ -46,6 +52,12 @@
 //! (`dsketch::flat::FlatSketchSet`) without rebuilding any `BTreeMap`;
 //! `--frozen false` loads the map-backed sketches instead (the two answer
 //! identically — CI diffs them).
+//! `watch` polls `--graph` every `--interval-ms` (default 2000),
+//! rebuilds `--snapshot` with the parallel engine whenever the graph's
+//! fingerprint changes, and — when `--server HOST:PORT` names a live
+//! `dsketch-serve`/`dsketch-store serve --listen` instance — sends it a
+//! binary-protocol swap request so the fresh snapshot goes live without a
+//! restart.  `--iterations N` bounds the loop (0 = run forever).
 
 use dsketch::prelude::*;
 use dsketch_bench::workloads::{QueryWorkload, Workload, WorkloadSpec};
@@ -67,7 +79,7 @@ fn required(args: &[String], name: &str) -> String {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dsketch-store <build|inspect|query|serve|verify> [flags]\n\
+        "usage: dsketch-store <build|inspect|query|serve|verify|watch> [flags]\n\
          \n\
          build   --scheme SPEC --out FILE [--edges FILE | --topology T --nodes N] [--seed N]\n\
          \u{20}        [--threads N] [--engine parallel|congest]\n\
@@ -76,7 +88,9 @@ fn usage() -> ! {
          query   --snapshot FILE --u NODE --v NODE [--frozen true|false]\n\
          serve   --snapshot FILE [--queries N] [--shards N] [--batch N] [--cache N]\n\
          \u{20}        [--workload uniform|hotspot|adversarial] [--seed N] [--frozen true|false]\n\
-         \u{20}        [--listen HOST:PORT [--serve-seconds N] [--net-workers N]]"
+         \u{20}        [--listen HOST:PORT [--serve-seconds N] [--net-workers N]]\n\
+         watch   --graph EDGE_LIST --scheme SPEC --snapshot FILE [--server HOST:PORT]\n\
+         \u{20}        [--interval-ms N] [--iterations N] [--seed N] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -89,7 +103,87 @@ fn main() {
         Some("verify") => cmd_verify(&args),
         Some("query") => cmd_query(&args),
         Some("serve") => cmd_serve(&args),
+        Some("watch") => cmd_watch(&args),
         _ => usage(),
+    }
+}
+
+/// The rebuild-and-swap loop: poll an edge list for fingerprint changes,
+/// rebuild the snapshot with the parallel engine when it moves, and (with
+/// `--server`) tell a live server to hot-swap the fresh file in.
+fn cmd_watch(args: &[String]) {
+    let graph_path = required(args, "graph");
+    let snapshot_path = required(args, "snapshot");
+    let scheme_text = required(args, "scheme");
+    let seed: u64 = arg_parse_or_exit(args, "seed", 42);
+    let threads: usize = arg_parse_or_exit(args, "threads", 0);
+    let interval_ms: u64 = arg_parse_or_exit(args, "interval-ms", 2_000);
+    let iterations: u64 = arg_parse_or_exit(args, "iterations", 0);
+    let server = arg_value(args, "server");
+    let spec = SchemeSpec::parse(&scheme_text).unwrap_or_else(|e| {
+        eprintln!("--scheme {scheme_text}: {e}");
+        std::process::exit(2);
+    });
+    let config = SchemeConfig::default()
+        .with_seed(seed)
+        .with_parallel_build()
+        .with_threads(threads);
+
+    let mut core = dsketch_store::WatchCore::new(&graph_path, &snapshot_path, spec, config);
+    if core.prime_from_snapshot() {
+        println!(
+            "primed from {snapshot_path}: fingerprint {}",
+            core.last_fingerprint()
+                .expect("primed watcher has a fingerprint")
+        );
+    } else {
+        println!("{snapshot_path} missing or stale — first tick will rebuild");
+    }
+
+    let mut tick = 0u64;
+    loop {
+        tick += 1;
+        match core.check_once() {
+            Ok(dsketch_store::WatchOutcome::Unchanged { fingerprint }) => {
+                println!("[tick {tick}] unchanged ({fingerprint})");
+            }
+            Ok(dsketch_store::WatchOutcome::Rebuilt {
+                fingerprint,
+                nodes,
+                bytes,
+            }) => {
+                println!(
+                    "[tick {tick}] graph moved → rebuilt {spec} for {nodes} nodes, \
+                     {bytes} bytes saved ({fingerprint})"
+                );
+                if let Some(addr) = &server {
+                    swap_live_server(addr, &snapshot_path, tick);
+                }
+            }
+            Err(e) => {
+                // Transient failures (edge list mid-rewrite, disk hiccup)
+                // must not kill the loop; state is unchanged, so the next
+                // tick simply retries.
+                eprintln!("[tick {tick}] watch error: {e} — retrying next tick");
+            }
+        }
+        if iterations != 0 && tick >= iterations {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// Tell the live server at `addr` to hot-swap in the snapshot at `path`.
+fn swap_live_server(addr: &str, path: &str, tick: u64) {
+    match dsketch_serve::NetClient::connect(addr, std::time::Duration::from_secs(10)) {
+        Ok(mut client) => match client.swap(path) {
+            Ok(generation) => {
+                println!("[tick {tick}] live server {addr} swapped to generation {generation}");
+            }
+            Err(e) => eprintln!("[tick {tick}] swap refused by {addr}: {e}"),
+        },
+        Err(e) => eprintln!("[tick {tick}] cannot reach {addr}: {e}"),
     }
 }
 
@@ -313,12 +407,14 @@ fn cmd_serve(args: &[String]) {
         let net_workers: usize = arg_parse_or_exit(args, "net-workers", 4);
         let log_json = args.iter().any(|a| a == "--log-json");
         // The snapshot header names what is being served; read it without
-        // paying a second sketch decode.
-        let meta = match dsketch_store::peek_snapshot_meta(&path) {
-            Ok((spec, fingerprint)) => {
+        // paying a second sketch decode.  The typed (spec, fingerprint)
+        // pair also arms the swap compatibility gates.
+        let origin = dsketch_store::peek_snapshot_meta(&path).ok();
+        let meta = match &origin {
+            Some((spec, fingerprint)) => {
                 dsketch_serve::ServeMeta::new(spec.to_string(), fingerprint.to_string())
             }
-            Err(_) => dsketch_serve::ServeMeta::default(),
+            None => dsketch_serve::ServeMeta::default(),
         };
         println!(
             "cold-started from {path} in {:.1} ms; exposing it on the network",
@@ -327,11 +423,14 @@ fn cmd_serve(args: &[String]) {
         serve_network(
             Arc::from(oracle),
             config,
-            net_workers,
-            &listen,
-            serve_seconds,
-            log_json,
+            dsketch_bench::NetServeOptions {
+                net_workers,
+                listen: &listen,
+                serve_seconds,
+                log_json,
+            },
             meta,
+            origin,
         );
     }
 

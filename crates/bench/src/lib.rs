@@ -26,25 +26,46 @@ pub use experiments::{run_experiment, ExperimentResult, EXPERIMENT_IDS};
 pub use table::Table;
 pub use workloads::{QueryWorkload, Workload, WorkloadSpec};
 
-/// Serve `oracle` on `listen` over TCP until `serve_seconds` elapses
-/// (0 = forever), then drain gracefully, print the final wire + dispatch
-/// counters, and exit the process.
+/// How [`serve_network`] should listen: the knobs both serving CLIs parse
+/// from their command lines, separate from the oracle and shard config.
+pub struct NetServeOptions<'a> {
+    /// Number of connection-handling worker threads (clamped to ≥ 1).
+    pub net_workers: usize,
+    /// `HOST:PORT` to bind.
+    pub listen: &'a str,
+    /// Stop draining after this many seconds; 0 means serve forever.
+    pub serve_seconds: u64,
+    /// Emit structured JSON log lines instead of plain text.
+    pub log_json: bool,
+}
+
+/// Serve `oracle` on `options.listen` over TCP until `options.serve_seconds`
+/// elapses (0 = forever), then drain gracefully, print the final wire +
+/// dispatch counters, and exit the process.
 ///
 /// The shared tail of `dsketch-serve --listen` and `dsketch-store serve
 /// --listen`: both build/load an oracle their own way, then hand it here.
-/// Exit code 0 after a timed run, 1 when the listener cannot bind.
+/// `origin` is the oracle's typed provenance (scheme spec + graph
+/// fingerprint) when the caller knows it — it arms the hot-swap
+/// compatibility gates, so `POST /swap` refuses snapshots built with a
+/// different scheme.  Exit code 0 after a timed run, 1 when the listener
+/// cannot bind.
 pub fn serve_network(
     oracle: std::sync::Arc<dyn dsketch::DistanceOracle>,
     config: dsketch_serve::ServeConfig,
-    net_workers: usize,
-    listen: &str,
-    serve_seconds: u64,
-    log_json: bool,
+    options: NetServeOptions<'_>,
     meta: dsketch_serve::ServeMeta,
+    origin: Option<(dsketch::SchemeSpec, netgraph::GraphFingerprint)>,
 ) -> ! {
     use dsketch_serve::{NetConfig, NetServer};
+    let NetServeOptions {
+        net_workers,
+        listen,
+        serve_seconds,
+        log_json,
+    } = options;
     let net_workers = net_workers.max(1);
-    let server = NetServer::start_with_meta(
+    let server = NetServer::start_with_origin(
         oracle,
         config,
         NetConfig::default()
@@ -52,6 +73,7 @@ pub fn serve_network(
             .with_log_json(log_json),
         listen,
         meta,
+        origin,
     )
     .unwrap_or_else(|e| {
         eprintln!("cannot listen on {listen}: {e}");
@@ -59,7 +81,8 @@ pub fn serve_network(
     });
     println!(
         "listening on {} — binary NETQ protocol + HTTP/1.1 (GET /distance?u=..&v=.., \
-         GET /stats, GET /metrics, GET /trace?n=K) on one port, {net_workers} connection workers",
+         GET /stats, GET /metrics, GET /trace?n=K, POST /swap?snapshot=..) on one port, \
+         {net_workers} connection workers",
         server.local_addr(),
     );
     if serve_seconds == 0 {

@@ -153,6 +153,33 @@ impl HistogramSnapshot {
         }
     }
 
+    /// The `q`-quantile (`0.0 ..= 1.0`) by nearest rank over the log₂
+    /// buckets, reported as the holding bucket's [`bucket_upper_bound`] —
+    /// a conservative (never under-reported) estimate with the buckets'
+    /// factor-of-two resolution.  `quantile(0.99)` is the p99 the swap
+    /// experiments compare; the top (unbounded) bucket reports the exact
+    /// recorded `max` instead of `u64::MAX`.  Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        // Nearest rank: the smallest rank r (1-based) with r >= q * count.
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return if index >= BUCKETS - 1 {
+                    self.max
+                } else {
+                    bucket_upper_bound(index).min(self.max)
+                };
+            }
+        }
+        self.max
+    }
+
     /// Merge another snapshot into this one by summation (maximum for
     /// `max`) — how per-shard histograms aggregate into totals.
     pub fn absorb(&mut self, other: &HistogramSnapshot) {
@@ -216,6 +243,40 @@ mod tests {
         assert_eq!(snap.buckets[10], 1, "1024");
         assert_eq!(snap.buckets[BUCKETS - 1], 1, "u64::MAX");
         assert_eq!(snap.max, u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_follow_nearest_rank_over_buckets() {
+        assert_eq!(HistogramSnapshot::default().quantile(0.99), 0);
+
+        let hist = Histogram::new();
+        // 90 small values in bucket 3 ([8, 16)) and 10 large ones in
+        // bucket 10 ([1024, 2048)): p50 sits in the small bucket, p99 in
+        // the large one.
+        for _ in 0..90 {
+            hist.record(10);
+        }
+        for _ in 0..10 {
+            hist.record(1500);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.quantile(0.5), bucket_upper_bound(3));
+        assert_eq!(snap.quantile(0.90), bucket_upper_bound(3));
+        assert_eq!(snap.quantile(0.91), 1500, "capped at the recorded max");
+        assert_eq!(snap.quantile(0.99), 1500);
+        assert_eq!(snap.quantile(1.0), 1500);
+
+        // A single observation answers every quantile with itself (its
+        // bucket bound capped at max).
+        let one = Histogram::new();
+        one.record(5);
+        assert_eq!(one.snapshot().quantile(0.0), 5);
+        assert_eq!(one.snapshot().quantile(0.99), 5);
+
+        // Top-bucket mass reports the exact max, not u64::MAX.
+        let top = Histogram::new();
+        top.record(u64::MAX - 3);
+        assert_eq!(top.snapshot().quantile(0.99), u64::MAX - 3);
     }
 
     #[test]

@@ -37,6 +37,12 @@
 //!   server straight from a `dsketch-store` snapshot (`DSK1` file), so a
 //!   restarted or standby server skips the CONGEST construction entirely
 //!   and is serving as soon as the labels are read and checksummed.
+//! * **Hot snapshot swap** — [`SketchServer::swap_snapshot`] replaces the
+//!   serving oracle *while queries are in flight*: the new snapshot is
+//!   deep-verified and published through a lock-free [`SwapCell`] as a new
+//!   [`Generation`]; readers never block, stale cache entries are lazily
+//!   invalidated, and the retired oracle is dropped when its last reader
+//!   lets go (see [`swap`]).
 //!
 //! # Example
 //!
@@ -76,17 +82,22 @@
 //!     --scheme tz:3 --nodes 512 --queries 100000 --shards 4
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one module implementing the lock-free swap
+// cell can opt in with its per-operation safety proofs; everything else in
+// the crate stays safe code.
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod cache;
 pub mod net;
 mod server;
 mod stats;
+pub mod swap;
 
 pub use net::{NetClient, NetConfig, NetServer, NetServerStats, NetStartError, ServeMeta};
 pub use server::{ServeClient, ServeConfig, SketchServer};
 pub use stats::{NetStats, ServeStats, ShardStats};
+pub use swap::{Generation, SwapCell, SwapError};
 
 // Re-exported so downstream code can name the trait and error type without
 // an extra dsketch import.

@@ -89,6 +89,21 @@ impl NetClient {
         }
     }
 
+    /// Ask the server to hot-swap its serving snapshot for the `DSK1`
+    /// file at `path` (a path on the *server's* filesystem).  Returns the
+    /// new generation number on success; a refused swap (corrupt file,
+    /// scheme or node-count mismatch) arrives as
+    /// [`NetError::Server`] with code `swap-refused`.
+    pub fn swap(&mut self, path: &str) -> Result<u64, NetError> {
+        match self.round_trip(&Request::Swap {
+            path: path.to_string(),
+        })? {
+            Response::Swapped(generation) => Ok(generation),
+            Response::Error(e) => Err(NetError::Server(e)),
+            other => Err(unexpected("swapped", &other)),
+        }
+    }
+
     /// Fetch the server's stats JSON document.
     pub fn stats_json(&mut self) -> Result<String, NetError> {
         match self.round_trip(&Request::Stats)? {

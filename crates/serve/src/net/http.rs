@@ -1,19 +1,26 @@
 //! A minimal hand-parsed HTTP/1.1 endpoint sharing the shard router.
 //!
-//! Two routes, both `GET`, both answering JSON and closing the
-//! connection (`Connection: close`; one request per connection keeps the
+//! Query routes are `GET`; the one mutating route is `POST`.  Every
+//! route answers JSON (or Prometheus text) and closes the connection
+//! (`Connection: close`; one request per connection keeps the
 //! worker-per-connection model honest):
 //!
 //! * `GET /distance?u=<id>&v=<id>` — one distance estimate,
 //!   `{"u":…,"v":…,"distance":…,"scheme":"…"}` on success.
 //! * `GET /stats` — the same JSON counters document the binary stats
 //!   frame carries.
+//! * `POST /swap?snapshot=<path>` — hot-swap the serving oracle to the
+//!   `DSK1` snapshot at `<path>` (percent-encoded, on the server's
+//!   filesystem); `{"generation":N}` on success, a `409` with error
+//!   class `swap-refused` when the snapshot fails verification or
+//!   compatibility gates.
 //!
 //! Errors map onto conventional status codes: an unparsable request line
 //! or missing/garbled parameters is `400`, an unknown node is `404`, a
-//! pair with no common landmark is `422`, a non-`GET` method is `405`,
-//! an unknown path is `404`, an oversized request head is `431`, and
-//! anything else server-side is `500`.  Every error body is
+//! pair with no common landmark is `422`, a refused swap is `409`, a
+//! method the path does not support is `405`, an unknown path is `404`,
+//! an oversized request head is `431`, and anything else server-side is
+//! `500`.  Every error body is
 //! `{"error":"<kebab-case class>","detail":"…"}`.
 //!
 //! The parser is deliberately tiny: request line + headers up to
@@ -44,9 +51,9 @@ pub(super) fn http_session(stream: &TcpStream, ctx: &WorkerCtx) {
         None => return,
     };
     let reply = match parse_request_line(&head) {
-        Ok(target) => {
+        Ok((method, target)) => {
             counters.http_requests.inc();
-            route(&target, ctx)
+            route(&method, &target, ctx)
         }
         Err(reply) => {
             counters.protocol_errors.inc();
@@ -110,9 +117,9 @@ fn read_request_head(
     }
 }
 
-/// Pull the request target out of the first line, or produce the full
-/// error reply for a malformed one.
-fn parse_request_line(head: &[u8]) -> Result<String, String> {
+/// Pull the method and request target out of the first line, or produce
+/// the full error reply for a malformed one.
+fn parse_request_line(head: &[u8]) -> Result<(String, String), String> {
     let text = std::str::from_utf8(head)
         .map_err(|_| error_reply(400, "bad-request", "request line is not UTF-8"))?;
     let line = text
@@ -132,33 +139,101 @@ fn parse_request_line(head: &[u8]) -> Result<String, String> {
     if parts.next().is_some() || !version.starts_with("HTTP/1.") {
         return Err(error_reply(400, "bad-request", "malformed request line"));
     }
-    if method != "GET" {
+    if method != "GET" && method != "POST" {
         return Err(error_reply(
             405,
             "method-not-allowed",
-            "only GET is supported",
+            "only GET and POST are supported",
         ));
     }
-    Ok(target.to_string())
+    Ok((method.to_string(), target.to_string()))
 }
 
-/// Dispatch a parsed request target to its route.
-fn route(target: &str, ctx: &WorkerCtx) -> String {
+/// Dispatch a parsed method + request target to its route.
+fn route(method: &str, target: &str, ctx: &WorkerCtx) -> String {
     let (path, query) = match target.split_once('?') {
         Some((path, query)) => (path, query),
         None => (target, ""),
     };
-    match path {
-        "/distance" => distance_route(query, ctx),
-        "/stats" => json_reply(200, &ctx.stats_document()),
-        "/metrics" => text_reply(200, &ctx.metrics_document()),
-        "/trace" => trace_route(query, ctx),
+    match (method, path) {
+        ("GET", "/distance") => distance_route(query, ctx),
+        ("GET", "/stats") => json_reply(200, &ctx.stats_document()),
+        ("GET", "/metrics") => text_reply(200, &ctx.metrics_document()),
+        ("GET", "/trace") => trace_route(query, ctx),
+        ("POST", "/swap") => swap_route(query, ctx),
+        ("POST", "/distance" | "/stats" | "/metrics" | "/trace") => error_reply(
+            405,
+            "method-not-allowed",
+            format!("{path} is read-only: use GET"),
+        ),
+        ("GET", "/swap") => error_reply(
+            405,
+            "method-not-allowed",
+            "/swap mutates the server: use POST",
+        ),
         _ => error_reply(
             404,
             "not-found",
-            "unknown path (try /distance, /stats, /metrics, or /trace)",
+            "unknown path (try /distance, /stats, /metrics, /trace, or POST /swap)",
         ),
     }
+}
+
+/// `POST /swap?snapshot=<percent-encoded path>` — hot-swap the serving
+/// oracle.  Success answers `{"generation":N}`; a refused swap answers
+/// `409` with error class `swap-refused` and leaves the live generation
+/// untouched.
+fn swap_route(query: &str, ctx: &WorkerCtx) -> String {
+    let mut snapshot = None;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = match pair.split_once('=') {
+            Some(kv) => kv,
+            None => return error_reply(400, "bad-request", "parameters must be key=value"),
+        };
+        if key != "snapshot" {
+            return error_reply(400, "bad-request", format!("unknown parameter '{key}'"));
+        }
+        snapshot = match percent_decode(value) {
+            Some(path) => Some(path),
+            None => {
+                return error_reply(
+                    400,
+                    "bad-request",
+                    "snapshot= is not valid percent-encoded UTF-8",
+                )
+            }
+        };
+    }
+    let path = match snapshot {
+        Some(path) if !path.is_empty() => path,
+        _ => return error_reply(400, "bad-request", "snapshot=<path> is required"),
+    };
+    match ctx.swap_snapshot(&path) {
+        Ok(generation) => json_reply(200, &format!("{{\"generation\":{generation}}}")),
+        Err(e) => error_reply(409, "swap-refused", e.to_string()),
+    }
+}
+
+/// Decode `%XX` escapes (the query-string subset: no `+`-for-space, since
+/// filesystem paths legitimately contain `+`).  `None` on a dangling or
+/// non-hex escape, or when the decoded bytes are not UTF-8.
+fn percent_decode(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            let high = (hex[0] as char).to_digit(16)?;
+            let low = (hex[1] as char).to_digit(16)?;
+            out.push((high * 16 + low) as u8);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
 }
 
 /// `GET /trace?n=K` — the last K (default 32) sampled trace events as a
@@ -254,6 +329,7 @@ fn reply_with_type(status: u16, content_type: &str, body: &str) -> String {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         422 => "Unprocessable Entity",
         431 => "Request Header Fields Too Large",
         _ => "Internal Server Error",
@@ -313,13 +389,22 @@ mod tests {
     fn request_line_parses_and_rejects() {
         assert_eq!(
             parse_request_line(b"GET /stats HTTP/1.1\r\n\r\n"),
-            Ok("/stats".to_string())
+            Ok(("GET".to_string(), "/stats".to_string()))
         );
         assert_eq!(
             parse_request_line(b"GET /distance?u=1&v=2 HTTP/1.0\r\nhost: x\r\n\r\n"),
-            Ok("/distance?u=1&v=2".to_string())
+            Ok(("GET".to_string(), "/distance?u=1&v=2".to_string()))
         );
-        assert!(parse_request_line(b"POST /stats HTTP/1.1\r\n\r\n")
+        // POST parses (the swap route needs it); route() rejects POSTs to
+        // read-only paths with a 405 instead.
+        assert_eq!(
+            parse_request_line(b"POST /swap?snapshot=%2Ftmp%2Fa.dsk1 HTTP/1.1\r\n\r\n"),
+            Ok((
+                "POST".to_string(),
+                "/swap?snapshot=%2Ftmp%2Fa.dsk1".to_string()
+            ))
+        );
+        assert!(parse_request_line(b"DELETE /stats HTTP/1.1\r\n\r\n")
             .unwrap_err()
             .starts_with("HTTP/1.1 405"));
         assert!(parse_request_line(b"\r\n\r\n")
@@ -331,6 +416,23 @@ mod tests {
         assert!(parse_request_line(b"\xff\xfe garbage")
             .unwrap_err()
             .starts_with("HTTP/1.1 400"));
+    }
+
+    #[test]
+    fn percent_decoding_round_trips_paths() {
+        assert_eq!(percent_decode("plain.dsk1"), Some("plain.dsk1".to_string()));
+        assert_eq!(
+            percent_decode("%2Ftmp%2Fnext%20gen.dsk1"),
+            Some("/tmp/next gen.dsk1".to_string())
+        );
+        assert_eq!(
+            percent_decode("a+b"),
+            Some("a+b".to_string()),
+            "no +-for-space"
+        );
+        assert_eq!(percent_decode("%2"), None, "dangling escape");
+        assert_eq!(percent_decode("%zz"), None, "non-hex escape");
+        assert_eq!(percent_decode("%ff"), None, "not UTF-8");
     }
 
     #[test]

@@ -14,10 +14,11 @@
 //! ```
 //!
 //! Request kinds (`NETQ`): `0` ping, `1` single query (two `NodeId`s),
-//! `2` batched query (length-prefixed pair list), `3` stats.  Response
-//! kinds (`NETR`): `0` pong, `1` distance (`u64`), `2` batch (per-pair
-//! ok/error results), `3` stats (length-prefixed JSON text), `15` typed
-//! error.  Payload encodings reuse [`dsketch::codec`] — the same
+//! `2` batched query (length-prefixed pair list), `3` stats, `4` swap
+//! (length-prefixed snapshot path).  Response kinds (`NETR`): `0` pong,
+//! `1` distance (`u64`), `2` batch (per-pair ok/error results), `3` stats
+//! (length-prefixed JSON text), `4` swapped (the new generation number),
+//! `15` typed error.  Payload encodings reuse [`dsketch::codec`] — the same
 //! little-endian, length-prefixed, bounds-checked decoder the `DSK1`
 //! snapshot format is built on, so a truncated or corrupted payload fails
 //! with a typed [`CodecError`], never a panic.
@@ -176,6 +177,10 @@ pub enum WireErrorCode {
     ShuttingDown,
     /// Any other server-side failure.
     Internal,
+    /// A snapshot swap was refused: the snapshot failed deep verification
+    /// or did not match the serving scheme / node count.  The live
+    /// generation is untouched.
+    SwapRefused,
 }
 
 impl WireErrorCode {
@@ -188,6 +193,7 @@ impl WireErrorCode {
             WireErrorCode::BatchTooLarge => "batch-too-large",
             WireErrorCode::ShuttingDown => "shutting-down",
             WireErrorCode::Internal => "internal",
+            WireErrorCode::SwapRefused => "swap-refused",
         }
     }
 
@@ -199,6 +205,7 @@ impl WireErrorCode {
             WireErrorCode::BatchTooLarge => 4,
             WireErrorCode::ShuttingDown => 5,
             WireErrorCode::Internal => 6,
+            WireErrorCode::SwapRefused => 7,
         }
     }
 
@@ -210,6 +217,7 @@ impl WireErrorCode {
             4 => Ok(WireErrorCode::BatchTooLarge),
             5 => Ok(WireErrorCode::ShuttingDown),
             6 => Ok(WireErrorCode::Internal),
+            7 => Ok(WireErrorCode::SwapRefused),
             other => Err(CodecError::Invalid {
                 context: "WireErrorCode",
                 message: format!("unknown error code byte {other}"),
@@ -280,6 +288,13 @@ pub enum Request {
     },
     /// Ask for the server's counters as JSON.
     Stats,
+    /// Ask the server to hot-swap its serving oracle to the snapshot at
+    /// `path` (a path on the *server's* filesystem).  Answered with
+    /// [`Response::Swapped`] or a [`WireErrorCode::SwapRefused`] error.
+    Swap {
+        /// Snapshot path on the server host.
+        path: String,
+    },
 }
 
 impl Request {
@@ -290,6 +305,7 @@ impl Request {
             Request::Query { .. } => 1,
             Request::QueryBatch { .. } => 2,
             Request::Stats => 3,
+            Request::Swap { .. } => 4,
         }
     }
 
@@ -300,6 +316,7 @@ impl Request {
             Request::Query { .. } => "query",
             Request::QueryBatch { .. } => "query-batch",
             Request::Stats => "stats",
+            Request::Swap { .. } => "swap",
         }
     }
 
@@ -319,6 +336,7 @@ impl Request {
                     payload.put_u32(v.0);
                 }
             }
+            Request::Swap { path } => payload.put_byte_string(path.as_bytes()),
         }
         frame_bytes(REQUEST_MAGIC, self.kind(), payload.as_bytes())
     }
@@ -343,6 +361,16 @@ impl Request {
                 Request::QueryBatch { pairs }
             }
             3 => Request::Stats,
+            4 => {
+                let path_bytes = input.byte_string("Swap.path")?;
+                let path = String::from_utf8(path_bytes).map_err(|e| {
+                    NetError::Codec(CodecError::Invalid {
+                        context: "Swap.path",
+                        message: format!("path is not UTF-8: {e}"),
+                    })
+                })?;
+                Request::Swap { path }
+            }
             other => return Err(NetError::UnknownFrameKind { got: other }),
         };
         input.finish()?;
@@ -361,6 +389,8 @@ pub enum Response {
     Batch(Vec<Result<Distance, WireError>>),
     /// Server counters as JSON text (same document `GET /stats` serves).
     Stats(String),
+    /// Reply to [`Request::Swap`]: the generation number now serving.
+    Swapped(u64),
     /// The request failed as a whole.
     Error(WireError),
 }
@@ -373,6 +403,7 @@ impl Response {
             Response::Distance(_) => 1,
             Response::Batch(_) => 2,
             Response::Stats(_) => 3,
+            Response::Swapped(_) => 4,
             Response::Error(_) => 15,
         }
     }
@@ -384,6 +415,7 @@ impl Response {
             Response::Distance(_) => "distance",
             Response::Batch(_) => "batch",
             Response::Stats(_) => "stats",
+            Response::Swapped(_) => "swapped",
             Response::Error(_) => "error",
         }
     }
@@ -410,6 +442,7 @@ impl Response {
                 }
             }
             Response::Stats(json) => payload.put_byte_string(json.as_bytes()),
+            Response::Swapped(generation) => payload.put_u64(*generation),
             Response::Error(e) => e.encode(&mut payload),
         }
         frame_bytes(RESPONSE_MAGIC, self.kind(), payload.as_bytes())
@@ -448,6 +481,7 @@ impl Response {
                 })?;
                 Response::Stats(json)
             }
+            4 => Response::Swapped(input.u64("Swapped.generation")?),
             15 => Response::Error(WireError::decode(&mut input)?),
             other => return Err(NetError::UnknownFrameKind { got: other }),
         };
@@ -554,6 +588,12 @@ mod tests {
             pairs: vec![(NodeId(0), NodeId(1)), (NodeId(9), NodeId(9))],
         });
         round_trip_request(Request::Stats);
+        round_trip_request(Request::Swap {
+            path: "/var/lib/dsketch/next.dsk1".to_string(),
+        });
+        round_trip_request(Request::Swap {
+            path: String::new(),
+        });
     }
 
     #[test]
@@ -571,6 +611,8 @@ mod tests {
             Ok(0),
         ]));
         round_trip_response(Response::Stats("{\"queries\": 3}".to_string()));
+        round_trip_response(Response::Swapped(1));
+        round_trip_response(Response::Swapped(u64::MAX));
         round_trip_response(Response::Error(WireError::new(
             WireErrorCode::BadFrame,
             "unknown frame kind 200",
@@ -669,10 +711,12 @@ mod tests {
             WireErrorCode::BatchTooLarge,
             WireErrorCode::ShuttingDown,
             WireErrorCode::Internal,
+            WireErrorCode::SwapRefused,
         ] {
             assert_eq!(WireErrorCode::from_byte(code.to_byte()), Ok(code));
             assert!(!code.name().is_empty());
         }
+        assert_eq!(WireErrorCode::SwapRefused.name(), "swap-refused");
         assert!(WireErrorCode::from_byte(0).is_err());
         assert!(WireErrorCode::from_byte(200).is_err());
     }

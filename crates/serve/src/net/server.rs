@@ -47,9 +47,9 @@ use super::protocol::{
 use super::wire::{self, ReadOutcome};
 use crate::server::{ServeClient, ServeConfig, SketchServer};
 use crate::stats::{NetCounters, NetStats, ServeStats};
-use dsketch::{DistanceOracle, SketchError};
+use dsketch::{DistanceOracle, SchemeSpec, SketchError};
 use dsketch_obs::{prometheus, MetricsRegistry, StdoutSink, Tracer};
-use netgraph::{Distance, NodeId};
+use netgraph::{Distance, GraphFingerprint, NodeId};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, TrySendError};
@@ -226,9 +226,6 @@ pub(super) struct WorkerCtx {
     counters: Arc<NetCounters>,
     shutdown: Arc<AtomicBool>,
     config: NetConfig,
-    scheme_name: &'static str,
-    num_nodes: usize,
-    stretch_bound: Option<u64>,
     registry: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
     meta: Arc<ServeMeta>,
@@ -273,21 +270,34 @@ impl NetServer {
         addr: &str,
         meta: ServeMeta,
     ) -> Result<NetServer, NetStartError> {
+        NetServer::start_with_origin(oracle, serve_config, net_config, addr, meta, None)
+    }
+
+    /// [`NetServer::start_with_meta`] plus the oracle's typed provenance
+    /// (scheme + graph fingerprint), which arms the swap compatibility
+    /// gates — [`SketchServer::swap_snapshot`] refuses a snapshot whose
+    /// scheme differs from `origin`'s.
+    pub fn start_with_origin(
+        oracle: Arc<dyn DistanceOracle>,
+        serve_config: ServeConfig,
+        net_config: NetConfig,
+        addr: &str,
+        meta: ServeMeta,
+        origin: Option<(SchemeSpec, GraphFingerprint)>,
+    ) -> Result<NetServer, NetStartError> {
         net_config.validate()?;
-        let scheme_name = oracle.scheme_name();
-        let num_nodes = oracle.num_nodes();
-        let stretch_bound = oracle.stretch_bound();
         let registry = Arc::new(MetricsRegistry::new());
         let mut tracer = Tracer::one_in(serve_config.trace_sample);
         if net_config.log_json {
             tracer = tracer.with_sink(Arc::new(StdoutSink));
         }
         let tracer = Arc::new(tracer);
-        let server = Arc::new(SketchServer::start_with_obs(
+        let server = Arc::new(SketchServer::start_with_origin(
             oracle,
             serve_config,
             Arc::clone(&registry),
             Arc::clone(&tracer),
+            origin,
         )?);
         let listener = TcpListener::bind(addr).map_err(NetStartError::Bind)?;
         listener
@@ -310,9 +320,6 @@ impl NetServer {
                 counters: Arc::clone(&counters),
                 shutdown: Arc::clone(&shutdown),
                 config: net_config,
-                scheme_name,
-                num_nodes,
-                stretch_bound,
                 registry: Arc::clone(&registry),
                 tracer: Arc::clone(&tracer),
                 meta: Arc::clone(&meta),
@@ -575,6 +582,10 @@ fn answer_request(request: Request, ctx: &WorkerCtx) -> Response {
             )
         }
         Request::Stats => Response::Stats(stats_json(ctx)),
+        Request::Swap { path } => match ctx.server.swap_snapshot(&path) {
+            Ok(generation) => Response::Swapped(generation),
+            Err(e) => Response::Error(WireError::new(WireErrorCode::SwapRefused, e.to_string())),
+        },
     }
 }
 
@@ -607,9 +618,20 @@ pub(crate) fn stats_json(ctx: &WorkerCtx) -> String {
     let snap = ctx.registry.snapshot();
     let serve = ServeStats::from_metrics(&snap, ctx.server.num_shards());
     let net = NetStats::from_metrics(&snap);
-    let stretch = match ctx.stretch_bound {
+    // Oracle metadata comes from the *current* generation, so a hot swap
+    // is reflected in the very next stats document.
+    let generation = ctx.server.current_generation();
+    let stretch = match generation.oracle.stretch_bound() {
         Some(bound) => bound.to_string(),
         None => "null".to_string(),
+    };
+    let spec = match generation.spec {
+        Some(spec) => spec.to_string(),
+        None => ctx.meta.spec.clone(),
+    };
+    let fingerprint = match generation.fingerprint {
+        Some(fingerprint) => fingerprint.to_string(),
+        None => ctx.meta.fingerprint.clone(),
     };
     let frames_per_connection = if net.connections_accepted == 0 {
         0.0
@@ -620,7 +642,9 @@ pub(crate) fn stats_json(ctx: &WorkerCtx) -> String {
         concat!(
             "{{\"scheme\":\"{}\",\"spec\":\"{}\",\"graph\":\"{}\",",
             "\"num_nodes\":{},\"stretch_bound\":{},\"uptime_seconds\":{:.3},",
+            "\"generation\":{},\"swaps\":{},",
             "\"serve\":{{\"queries\":{},\"cache_hits\":{},\"cache_misses\":{},",
+            "\"cache_invalidations\":{},",
             "\"errors\":{},\"batches\":{},\"busy_nanos\":{},\"max_latency_nanos\":{},",
             "\"shards\":{}}},",
             "\"net\":{{\"connections_accepted\":{},\"connections_refused\":{},",
@@ -629,15 +653,18 @@ pub(crate) fn stats_json(ctx: &WorkerCtx) -> String {
             "\"timeouts\":{},\"protocol_errors\":{}}},",
             "\"derived\":{{\"hit_rate\":{:.6},\"frames_per_connection\":{:.3}}}}}"
         ),
-        ctx.scheme_name,
-        http::json_escape(&ctx.meta.spec),
-        http::json_escape(&ctx.meta.fingerprint),
-        ctx.num_nodes,
+        generation.oracle.scheme_name(),
+        http::json_escape(&spec),
+        http::json_escape(&fingerprint),
+        generation.oracle.num_nodes(),
         stretch,
         ctx.started_at.elapsed().as_secs_f64(),
+        serve.generation,
+        serve.swaps,
         serve.totals.queries,
         serve.totals.cache_hits,
         serve.totals.cache_misses,
+        serve.totals.cache_invalidations,
         serve.totals.errors,
         serve.totals.batches,
         serve.totals.busy_nanos,
@@ -666,7 +693,13 @@ impl WorkerCtx {
     }
 
     pub(super) fn scheme_name(&self) -> &'static str {
-        self.scheme_name
+        self.server.current_generation().oracle.scheme_name()
+    }
+
+    /// Hot-swap the serving snapshot (the `POST /swap` and binary swap
+    /// paths); returns the new generation number.
+    pub(super) fn swap_snapshot(&self, path: &str) -> Result<u64, crate::swap::SwapError> {
+        self.server.swap_snapshot(path)
     }
 
     pub(super) fn read_timeout(&self) -> Duration {

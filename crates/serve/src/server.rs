@@ -1,11 +1,11 @@
 //! The sharded query server: worker threads, bounded queues, shard routing.
 //!
 //! One [`SketchServer`] owns `shards` worker threads.  Every worker holds a
-//! clone of one `Arc<dyn DistanceOracle>` (the labels are immutable, so
-//! sharing is free), its own bounded request queue, and its own
-//! [`LruCache`] — routing is deterministic per query pair, so each pair
-//! lives in exactly one shard's cache and workers never take a lock on the
-//! hot path.
+//! clone of one [`SwapCell`] handle publishing the current [`Generation`]
+//! (the labels are immutable per generation, so sharing is free), its own
+//! bounded request queue, and its own [`LruCache`] — routing is
+//! deterministic per query pair, so each pair lives in exactly one shard's
+//! cache and workers never take a lock on the hot path.
 //!
 //! ```text
 //!                  ServeClient (one per caller thread)
@@ -15,19 +15,28 @@
 //!   [queue 0]    [queue 1]  …   [queue S−1]     bounded sync channels
 //!        │           │               │
 //!   worker 0     worker 1       worker S−1      one thread per shard
-//!   LRU cache    LRU cache      LRU cache       private, no locks
+//!   LRU cache    LRU cache      LRU cache       private, generation-tagged
 //!        └───────────┴───────┬───────┘
 //!                            ▼
-//!               Arc<dyn DistanceOracle>          shared, read-only labels
+//!           SwapCell<Generation> → Arc<dyn DistanceOracle>
+//!               shared, read-only labels — hot-swappable
 //! ```
+//!
+//! [`SketchServer::swap_snapshot`] publishes a new generation while the
+//! workers keep answering: each worker probes the cell's version once per
+//! batch (one atomic load) and reloads its `Arc<Generation>` only when a
+//! swap landed.  Cache entries are tagged with the generation that produced
+//! them and lazily discarded on touch after a swap — no flush pause, no
+//! stop-the-world.
 
 use crate::cache::LruCache;
 use crate::stats::{ServeStats, ShardCounters};
-use dsketch::{DistanceOracle, SketchError};
-use dsketch_obs::{Gauge, MetricsRegistry, TraceEvent, Tracer};
-use netgraph::{Distance, NodeId};
+use crate::swap::{Generation, SwapCell, SwapError};
+use dsketch::{DistanceOracle, SchemeSpec, SketchError};
+use dsketch_obs::{Counter, Gauge, MetricsRegistry, TraceEvent, Tracer};
+use netgraph::{Distance, GraphFingerprint, NodeId};
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -102,10 +111,16 @@ impl ServeConfig {
 
 /// One batch of work for one shard: the pairs to answer, each tagged with
 /// its index in the client's original batch, and the channel to reply on.
+/// The reply carries the generation number the shard answered under, so
+/// callers can attribute every answer to the snapshot that produced it.
 struct Job {
     pairs: Vec<(usize, NodeId, NodeId)>,
-    reply: Sender<Vec<(usize, Result<Distance, SketchError>)>>,
+    reply: Sender<ShardReply>,
 }
+
+/// What a shard sends back for one [`Job`]: the generation number it
+/// answered under, plus each pair's result tagged with its original index.
+type ShardReply = (u64, Vec<(usize, Result<Distance, SketchError>)>);
 
 /// Distance estimates are symmetric (`estimate(u, v) == estimate(v, u)` for
 /// every oracle), so `(u, v)` and `(v, u)` are the same logical query: both
@@ -137,32 +152,55 @@ fn shard_of(u: NodeId, v: NodeId, shards: usize) -> usize {
 }
 
 /// The worker loop: drain batches, answer each pair cache-first, reply.
+///
+/// Generation handling: the worker keeps one `Arc<Generation>` and probes
+/// [`SwapCell::version`] once per batch — a single atomic load — reloading
+/// only when a swap was published.  Cache values are tagged with the
+/// generation that computed them; an entry whose tag does not match the
+/// current generation is discarded on touch (counted as an invalidation
+/// *and* a miss, so `hits + misses == queries` stays true across swaps).
 fn run_worker(
     shard: usize,
-    oracle: Arc<dyn DistanceOracle>,
+    cell: Arc<SwapCell<Generation>>,
     rx: Receiver<Job>,
     counters: ShardCounters,
     tracer: Arc<Tracer>,
     cache_capacity: usize,
 ) {
-    let mut cache: LruCache<(NodeId, NodeId), Distance> = LruCache::new(cache_capacity);
+    let mut cache: LruCache<(NodeId, NodeId), (u64, Distance)> = LruCache::new(cache_capacity);
+    let mut current = cell.load();
     while let Ok(job) = rx.recv() {
         counters.queue_entries.sub(1);
         counters.batches.inc();
+        if cell.version() != current.number {
+            current = cell.load();
+        }
+        let generation = current.number;
         let mut results = Vec::with_capacity(job.pairs.len());
         for &(index, u, v) in &job.pairs {
             let start = Instant::now();
             let key = canonical(u, v);
-            let (result, cache_hit) = match cache.get(&key) {
-                Some(&distance) => {
+            let cached = match cache.get(&key) {
+                Some(&(tag, distance)) if tag == generation => Some(distance),
+                Some(_) => {
+                    // Stale entry from a retired generation: lazily
+                    // invalidated right here, on touch, instead of by a
+                    // stop-the-world flush at swap time.
+                    counters.cache_invalidations.inc();
+                    None
+                }
+                None => None,
+            };
+            let (result, cache_hit) = match cached {
+                Some(distance) => {
                     counters.cache_hits.inc();
                     (Ok(distance), true)
                 }
                 None => {
                     counters.cache_misses.inc();
-                    let result = oracle.estimate(u, v);
+                    let result = current.oracle.estimate(u, v);
                     if let Ok(distance) = result {
-                        cache.insert(key, distance);
+                        cache.insert(key, (generation, distance));
                     }
                     (result, false)
                 }
@@ -177,6 +215,7 @@ fn run_worker(
                 tracer.emit(
                     TraceEvent::new("query")
                         .num("shard", shard as u64)
+                        .num("generation", generation)
                         .num("u", u64::from(u.0))
                         .num("v", u64::from(v.0))
                         .text("cache", if cache_hit { "hit" } else { "miss" })
@@ -187,7 +226,7 @@ fn run_worker(
             results.push((index, result));
         }
         // A client that has gone away is not an error; drop the reply.
-        let _ = job.reply.send(results);
+        let _ = job.reply.send((generation, results));
     }
 }
 
@@ -200,12 +239,18 @@ fn run_worker(
 /// outstanding clients keep their shards alive until they are dropped too,
 /// so drop clients first.
 pub struct SketchServer {
+    cell: Arc<SwapCell<Generation>>,
+    /// Serializes swap publication so generation numbers and cell versions
+    /// advance in lock step.  Never touched by the query path.
+    swap_lock: Mutex<()>,
     senders: Vec<SyncSender<Job>>,
     workers: Vec<JoinHandle<()>>,
     counters: Vec<ShardCounters>,
     registry: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
     config: ServeConfig,
+    generation_gauge: Gauge,
+    swaps: Counter,
 }
 
 impl SketchServer {
@@ -233,14 +278,48 @@ impl SketchServer {
         registry: Arc<MetricsRegistry>,
         tracer: Arc<Tracer>,
     ) -> Result<SketchServer, SketchError> {
+        SketchServer::start_with_origin(oracle, config, registry, tracer, None)
+    }
+
+    /// [`SketchServer::start_with_obs`] with the oracle's provenance
+    /// attached: when `origin` names the scheme and graph fingerprint the
+    /// oracle was built from (known whenever it came from a `DSK1`
+    /// snapshot), [`SketchServer::swap_snapshot`] can refuse incompatible
+    /// replacements with a typed error instead of serving wrong answers.
+    pub fn start_with_origin(
+        oracle: Arc<dyn DistanceOracle>,
+        config: ServeConfig,
+        registry: Arc<MetricsRegistry>,
+        tracer: Arc<Tracer>,
+        origin: Option<(SchemeSpec, GraphFingerprint)>,
+    ) -> Result<SketchServer, SketchError> {
         config.validate()?;
+        let (spec, fingerprint) = match origin {
+            Some((spec, fingerprint)) => (Some(spec), Some(fingerprint)),
+            None => (None, None),
+        };
+        let cell = Arc::new(SwapCell::new(Arc::new(Generation::initial(
+            oracle,
+            spec,
+            fingerprint,
+        ))));
+        let generation_gauge = registry.gauge(
+            // dsketch-lint: allow(metric-name-style): the generation gauge is a version number — unitless by design
+            "dsketch_serve_generation",
+            "Snapshot generation currently serving (1 = startup oracle).",
+        );
+        generation_gauge.set(1);
+        let swaps = registry.counter(
+            "dsketch_swap_total",
+            "Snapshot swaps published since startup.",
+        );
         let mut senders = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         let mut counters = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
             let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
             let shard_counters = ShardCounters::register(&registry, shard);
-            let worker_oracle = Arc::clone(&oracle);
+            let worker_cell = Arc::clone(&cell);
             let worker_counters = shard_counters.clone();
             let worker_tracer = Arc::clone(&tracer);
             let cache_capacity = config.cache_capacity;
@@ -249,7 +328,7 @@ impl SketchServer {
                 move || {
                     run_worker(
                         shard,
-                        worker_oracle,
+                        worker_cell,
                         rx,
                         worker_counters,
                         worker_tracer,
@@ -261,12 +340,16 @@ impl SketchServer {
             counters.push(shard_counters);
         }
         Ok(SketchServer {
+            cell,
+            swap_lock: Mutex::new(()),
             senders,
             workers,
             counters,
             registry,
             tracer,
             config,
+            generation_gauge,
+            swaps,
         })
     }
 
@@ -286,12 +369,104 @@ impl SketchServer {
     /// Corrupted, truncated, or version-incompatible snapshots fail with
     /// the typed [`StoreError`](dsketch_store::StoreError); an invalid
     /// `config` fails with [`StoreError::Sketch`](dsketch_store::StoreError::Sketch).
+    /// A server started this way knows its origin (scheme + graph
+    /// fingerprint from the snapshot header), so later
+    /// [`SketchServer::swap_snapshot`] calls can refuse incompatible
+    /// replacements.
     pub fn from_snapshot<P: AsRef<std::path::Path>>(
         path: P,
         config: ServeConfig,
     ) -> Result<SketchServer, dsketch_store::StoreError> {
-        let oracle: Arc<dyn DistanceOracle> = Arc::from(dsketch_store::load_frozen_oracle(path)?);
-        Ok(SketchServer::start(oracle, config)?)
+        let bytes = std::fs::read(path).map_err(dsketch_store::StoreError::Io)?;
+        let raw = dsketch_store::SnapshotReader::new(&bytes[..]).read()?;
+        let origin = (raw.spec(), raw.fingerprint());
+        let oracle: Arc<dyn DistanceOracle> =
+            Arc::from(dsketch_store::read_frozen_oracle(&bytes[..])?);
+        let tracer = Arc::new(Tracer::one_in(config.trace_sample));
+        Ok(SketchServer::start_with_origin(
+            oracle,
+            config,
+            Arc::new(MetricsRegistry::new()),
+            tracer,
+            Some(origin),
+        )?)
+    }
+
+    /// Hot-swap the serving oracle to the snapshot at `path`, without
+    /// pausing queries.  Returns the new generation number.
+    ///
+    /// The snapshot is read once and must clear three gates before
+    /// anything is published:
+    ///
+    /// 1. **Deep verification** — the full `DSK1` semantic verifier
+    ///    ([`dsketch_analysis::verify_snapshot_bytes`]); corrupted or
+    ///    contract-violating bytes fail with [`SwapError::Verify`].
+    /// 2. **Scheme match** — when the live generation knows its
+    ///    [`SchemeSpec`], a snapshot built with a different scheme fails
+    ///    with [`SwapError::SchemeMismatch`] (clients reasoning about the
+    ///    stretch bound must not have it change under them).
+    /// 3. **Node-count match** — a snapshot whose graph fingerprint names
+    ///    a different node count fails with
+    ///    [`SwapError::NodeCountMismatch`] (the node-id universe clients
+    ///    hold would silently shift).  Edge/weight drift at the same node
+    ///    count is the legitimate graph-evolution case and is accepted.
+    ///
+    /// Every refusal leaves the live generation untouched — in-flight and
+    /// follow-up queries keep answering from the old oracle.  On success
+    /// the new [`Generation`] is published through the [`SwapCell`]:
+    /// readers pick it up at their next batch, per-shard cache entries
+    /// from older generations are lazily invalidated on touch, and the
+    /// retired oracle is dropped when its last in-flight reader finishes.
+    pub fn swap_snapshot<P: AsRef<std::path::Path>>(&self, path: P) -> Result<u64, SwapError> {
+        let bytes = std::fs::read(path).map_err(|e| SwapError::Store(e.into()))?;
+        dsketch_analysis::verify_snapshot_bytes(&bytes)?;
+        let raw = dsketch_store::SnapshotReader::new(&bytes[..]).read()?;
+        let (spec, fingerprint) = (raw.spec(), raw.fingerprint());
+        let oracle: Arc<dyn DistanceOracle> =
+            Arc::from(dsketch_store::read_frozen_oracle(&bytes[..])?);
+        // Serialize publication: concurrent swappers validate against a
+        // stable current generation and numbers advance without gaps.
+        // dsketch-lint: allow(no-unwrap-in-hot-path): a poisoned swap lock means a swapper panicked — propagate
+        let _publish = self.swap_lock.lock().expect("swap lock poisoned");
+        let current = self.cell.load();
+        if let Some(current_spec) = current.spec {
+            if current_spec != spec {
+                return Err(SwapError::SchemeMismatch {
+                    current: current_spec,
+                    offered: spec,
+                });
+            }
+        }
+        if oracle.num_nodes() != current.oracle.num_nodes() {
+            return Err(SwapError::NodeCountMismatch {
+                current: current.oracle.num_nodes(),
+                offered: oracle.num_nodes(),
+            });
+        }
+        let next = Generation {
+            number: current.number + 1,
+            spec: Some(spec),
+            fingerprint: Some(fingerprint),
+            oracle,
+        };
+        let version = self.cell.store(Arc::new(next));
+        debug_assert_eq!(version, current.number + 1);
+        self.generation_gauge.set(version as i64);
+        self.swaps.inc();
+        Ok(version)
+    }
+
+    /// The generation currently serving (oracle + provenance).  One atomic
+    /// load plus a pin; never blocks.
+    pub fn current_generation(&self) -> Arc<Generation> {
+        self.cell.load()
+    }
+
+    /// The current generation number (1 = startup oracle).  A single
+    /// atomic load — cheaper than [`SketchServer::current_generation`]
+    /// when only the number is needed.
+    pub fn generation(&self) -> u64 {
+        self.cell.version()
     }
 
     /// The sizing the server was started with.
@@ -335,7 +510,12 @@ impl SketchServer {
         for shard in &per_shard {
             totals.absorb(shard);
         }
-        ServeStats { totals, per_shard }
+        ServeStats {
+            totals,
+            per_shard,
+            generation: self.cell.version(),
+            swaps: self.swaps.value(),
+        }
     }
 
     /// Close the queues, join all workers, and return the final counters.
@@ -377,8 +557,17 @@ impl ServeClient {
     /// Equivalent to a one-element [`ServeClient::query_batch`]; the result
     /// is exactly what [`DistanceOracle::estimate`] returns for `(u, v)`.
     pub fn query(&self, u: NodeId, v: NodeId) -> Result<Distance, SketchError> {
-        // dsketch-lint: allow(no-unwrap-in-hot-path): a one-pair batch returns exactly one result by construction
-        self.query_batch(&[(u, v)]).pop().expect("one result")
+        self.query_tagged(u, v).0
+    }
+
+    /// [`ServeClient::query`] plus the generation number the answering
+    /// shard was serving — during a hot swap this attributes the answer to
+    /// the exact snapshot that produced it.
+    pub fn query_tagged(&self, u: NodeId, v: NodeId) -> (Result<Distance, SketchError>, u64) {
+        self.query_batch_tagged(&[(u, v)])
+            .pop()
+            // dsketch-lint: allow(no-unwrap-in-hot-path): a one-pair batch returns exactly one result by construction
+            .expect("one result")
     }
 
     /// Answer a batch of queries, fanning out to every shard involved and
@@ -387,6 +576,20 @@ impl ServeClient {
     /// Batching amortizes the channel round-trip: all pairs for one shard
     /// travel in one message, and different shards answer concurrently.
     pub fn query_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<Result<Distance, SketchError>> {
+        self.query_batch_tagged(pairs)
+            .into_iter()
+            .map(|(result, _generation)| result)
+            .collect()
+    }
+
+    /// [`ServeClient::query_batch`] with each answer tagged with the
+    /// generation number that served it.  Mid-swap, a batch spanning
+    /// several shards can legitimately mix tags: each shard picks up the
+    /// new generation at its own batch boundary.
+    pub fn query_batch_tagged(
+        &self,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Vec<(Result<Distance, SketchError>, u64)> {
         if pairs.is_empty() {
             return Vec::new();
         }
@@ -412,12 +615,13 @@ impl ServeClient {
             jobs_sent += 1;
         }
         drop(reply_tx);
-        let mut results: Vec<Option<Result<Distance, SketchError>>> = vec![None; pairs.len()];
+        let mut results: Vec<Option<(Result<Distance, SketchError>, u64)>> =
+            vec![None; pairs.len()];
         for _ in 0..jobs_sent {
             // dsketch-lint: allow(no-unwrap-in-hot-path): a closed reply channel means the shard thread died mid-query — propagate its panic
-            let batch = reply_rx.recv().expect("query shard terminated");
+            let (generation, batch) = reply_rx.recv().expect("query shard terminated");
             for (index, result) in batch {
-                results[index] = Some(result);
+                results[index] = Some((result, generation));
             }
         }
         results

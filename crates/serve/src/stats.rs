@@ -28,6 +28,13 @@ pub struct ShardStats {
     pub cache_hits: u64,
     /// Queries that had to consult the oracle.
     pub cache_misses: u64,
+    /// Cached entries discarded on touch because they were computed under
+    /// a retired generation (lazy invalidation after a hot snapshot swap).
+    /// Each invalidation is *also* counted as a cache miss — the query did
+    /// consult the oracle — so `cache_hits + cache_misses == queries`
+    /// holds across swaps and post-swap misses are not misread as
+    /// cold-cache regressions.
+    pub cache_invalidations: u64,
     /// Queries that returned an error (unknown node, no common landmark).
     pub errors: u64,
     /// Batches (channel messages) processed; `queries / batches` is the mean
@@ -47,6 +54,7 @@ impl ShardStats {
         self.queries += other.queries;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.cache_invalidations += other.cache_invalidations;
         self.errors += other.errors;
         self.batches += other.batches;
         self.busy_nanos += other.busy_nanos;
@@ -81,6 +89,11 @@ pub struct ServeStats {
     pub totals: ShardStats,
     /// One entry per shard, in shard order.
     pub per_shard: Vec<ShardStats>,
+    /// Snapshot generation serving when this snapshot was taken (1 = the
+    /// startup oracle; each hot swap increments it).
+    pub generation: u64,
+    /// Hot snapshot swaps published since startup.
+    pub swaps: u64,
 }
 
 impl ServeStats {
@@ -123,6 +136,9 @@ impl ServeStats {
                 cache_misses: snap
                     .counter("dsketch_serve_cache_misses_total", &labels)
                     .unwrap_or(0),
+                cache_invalidations: snap
+                    .counter("dsketch_serve_cache_invalidations_total", &labels)
+                    .unwrap_or(0),
                 errors: snap
                     .counter("dsketch_serve_errors_total", &labels)
                     .unwrap_or(0),
@@ -137,7 +153,16 @@ impl ServeStats {
         for shard in &per_shard {
             totals.absorb(shard);
         }
-        ServeStats { totals, per_shard }
+        ServeStats {
+            totals,
+            per_shard,
+            generation: snap
+                // dsketch-lint: allow(metric-name-style): the generation gauge is a version number — unitless by design
+                .gauge("dsketch_serve_generation", "")
+                .unwrap_or(1)
+                .max(0) as u64,
+            swaps: snap.counter("dsketch_swap_total", "").unwrap_or(0),
+        }
     }
 }
 
@@ -146,7 +171,7 @@ impl std::fmt::Display for ServeStats {
         write!(
             f,
             "{} queries over {} shards: {:.1}% cache hits, {} errors, \
-             avg {:.2} µs/query, max {:.2} µs, imbalance {:.2}",
+             avg {:.2} µs/query, max {:.2} µs, imbalance {:.2}, generation {} ({} swaps)",
             self.totals.queries,
             self.num_shards(),
             100.0 * self.totals.hit_rate(),
@@ -154,6 +179,8 @@ impl std::fmt::Display for ServeStats {
             self.totals.avg_latency_nanos() / 1_000.0,
             self.totals.max_latency_nanos as f64 / 1_000.0,
             self.load_imbalance(),
+            self.generation,
+            self.swaps,
         )
     }
 }
@@ -322,6 +349,7 @@ pub(crate) struct ShardCounters {
     pub queries: Counter,
     pub cache_hits: Counter,
     pub cache_misses: Counter,
+    pub cache_invalidations: Counter,
     pub errors: Counter,
     pub batches: Counter,
     /// Per-query service time; its sum and max are `busy_nanos` and
@@ -353,6 +381,11 @@ impl ShardCounters {
                 "Queries that had to consult the oracle.",
                 labels,
             ),
+            cache_invalidations: registry.counter_with(
+                "dsketch_serve_cache_invalidations_total",
+                "Cached entries discarded on touch after a snapshot swap.",
+                labels,
+            ),
             errors: registry.counter_with(
                 "dsketch_serve_errors_total",
                 "Queries that returned an error.",
@@ -382,6 +415,7 @@ impl ShardCounters {
             queries: self.queries.value(),
             cache_hits: self.cache_hits.value(),
             cache_misses: self.cache_misses.value(),
+            cache_invalidations: self.cache_invalidations.value(),
             errors: self.errors.value(),
             batches: self.batches.value(),
             busy_nanos: latency.sum,
@@ -404,6 +438,7 @@ mod tests {
             queries: 10,
             cache_hits: 4,
             cache_misses: 6,
+            cache_invalidations: 2,
             errors: 1,
             batches: 2,
             busy_nanos: 1000,
@@ -413,6 +448,7 @@ mod tests {
             queries: 5,
             cache_hits: 5,
             cache_misses: 0,
+            cache_invalidations: 1,
             errors: 0,
             batches: 1,
             busy_nanos: 200,
@@ -422,6 +458,7 @@ mod tests {
         assert_eq!(a.queries, 15);
         assert_eq!(a.cache_hits, 9);
         assert_eq!(a.cache_misses, 6);
+        assert_eq!(a.cache_invalidations, 3);
         assert_eq!(a.batches, 3);
         assert_eq!(a.max_latency_nanos, 900);
         assert!((a.hit_rate() - 0.6).abs() < 1e-9);
@@ -464,6 +501,7 @@ mod tests {
         shard0.record_latency(100);
         shard1.queries.add(2);
         shard1.cache_misses.add(2);
+        shard1.cache_invalidations.inc();
         shard1.errors.inc();
         shard1.batches.inc();
         shard1.record_latency(900);
@@ -471,10 +509,15 @@ mod tests {
         assert_eq!(stats.num_shards(), 2);
         assert_eq!(stats.per_shard[0].queries, 4);
         assert_eq!(stats.per_shard[1].errors, 1);
+        assert_eq!(stats.per_shard[1].cache_invalidations, 1);
         assert_eq!(stats.totals.queries, 6);
         assert_eq!(stats.totals.cache_hits + stats.totals.cache_misses, 6);
+        assert_eq!(stats.totals.cache_invalidations, 1);
         assert_eq!(stats.totals.busy_nanos, 1000);
         assert_eq!(stats.totals.max_latency_nanos, 900);
+        // No swap instruments registered: sensible defaults.
+        assert_eq!(stats.generation, 1);
+        assert_eq!(stats.swaps, 0);
     }
 
     #[test]
@@ -521,16 +564,20 @@ mod tests {
                 queries: 100,
                 cache_hits: 25,
                 cache_misses: 75,
+                cache_invalidations: 5,
                 errors: 2,
                 batches: 10,
                 busy_nanos: 100_000,
                 max_latency_nanos: 5_000,
             },
             per_shard: vec![ShardStats::default(); 4],
+            generation: 3,
+            swaps: 2,
         };
         let text = stats.to_string();
         assert!(text.contains("100 queries over 4 shards"));
         assert!(text.contains("25.0% cache hits"));
         assert!(text.contains("2 errors"));
+        assert!(text.contains("generation 3 (2 swaps)"));
     }
 }

@@ -1,0 +1,469 @@
+//! Live snapshot swap: a hand-rolled, dependency-free `ArcSwap`-style
+//! cell and the generation tag it publishes.
+//!
+//! The serving stack was built over one immutable `Arc<dyn
+//! DistanceOracle>` fixed at startup; this module makes that binding
+//! *replaceable while queries are in flight*.  A [`SwapCell`] holds the
+//! current [`Generation`] (oracle + generation number + provenance);
+//! readers take a snapshot with one atomic load plus a pin, **never
+//! block, and never observe a torn value**; a writer publishes a fully
+//! built replacement and the retired generation is dropped exactly once,
+//! when the cell's reference and every outstanding reader clone are gone.
+//!
+//! # How the cell works
+//!
+//! ```text
+//!                    seq: AtomicU64 (monotonic, current = seq % 4)
+//!        ┌──────────┬──────────┬──────────┬──────────┐
+//!        │ slot 0   │ slot 1   │ slot 2   │ slot 3   │
+//!        │ pins ptr │ pins ptr │ pins ptr │ pins ptr │
+//!        └──────────┴──────────┴──────────┴──────────┘
+//!   reader:  s = seq; pin slot[s%4]; revalidate seq == s;
+//!            clone the Arc out of the slot; unpin
+//!   writer:  (mutex) wait pins == 0 on slot[(s+1)%4];
+//!            ptr.swap(new); seq = s+1; drop the displaced Arc
+//! ```
+//!
+//! The sequence number kills ABA: readers validate the *exact* `u64`
+//! they pinned under, so a pin taken against a stale sequence is always
+//! detected and retried.  A writer reuses a slot only after the slot has
+//! been non-current for `SLOTS − 1` generations *and* its pin count has
+//! drained to zero; the SeqCst total order makes the handshake airtight
+//! (see the safety comments on [`SwapCell::load`]).  Readers therefore
+//! spin only when a swap lands between their load and validation —
+//! never on a lock — and writers wait only for readers that pinned the
+//! one slot being recycled, generations ago.
+//!
+//! This is the only module in the crate allowed to use `unsafe`
+//! (`#![deny(unsafe_code)]` at the crate root, `#[allow]` here); every
+//! unsafe operation carries its proof.
+
+#![allow(unsafe_code)]
+
+use dsketch::{DistanceOracle, SchemeSpec};
+use netgraph::GraphFingerprint;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Slot-ring size.  A slot is recycled only after it has been
+/// non-current for `SLOTS − 1` consecutive swaps, which gives validated
+/// readers three full generations of slack before their slot's pointer
+/// can change.
+const SLOTS: usize = 4;
+
+/// One published value the serving stack can be switched to: the oracle
+/// plus everything a swap has to validate and the stats endpoints report.
+pub struct Generation {
+    /// Monotonic generation number; the cold-start oracle is generation 1
+    /// and every successful swap increments it.
+    pub number: u64,
+    /// The scheme the oracle was built with, when known (present whenever
+    /// the oracle came from a `DSK1` snapshot).  Swaps refuse a snapshot
+    /// whose spec differs.
+    pub spec: Option<SchemeSpec>,
+    /// Fingerprint of the graph the oracle was built from, when known.
+    /// Swaps compare node counts; edge/weight drift is the legitimate
+    /// graph-evolution case and is allowed through.
+    pub fingerprint: Option<GraphFingerprint>,
+    /// The serving oracle itself.
+    pub oracle: Arc<dyn DistanceOracle>,
+}
+
+impl Generation {
+    /// A startup generation (number 1) with optional provenance.
+    pub fn initial(
+        oracle: Arc<dyn DistanceOracle>,
+        spec: Option<SchemeSpec>,
+        fingerprint: Option<GraphFingerprint>,
+    ) -> Generation {
+        Generation {
+            number: 1,
+            spec,
+            fingerprint,
+            oracle,
+        }
+    }
+}
+
+impl std::fmt::Debug for Generation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Generation")
+            .field("number", &self.number)
+            .field("spec", &self.spec)
+            .field("fingerprint", &self.fingerprint)
+            .field("scheme", &self.oracle.scheme_name())
+            .field("num_nodes", &self.oracle.num_nodes())
+            .finish()
+    }
+}
+
+/// Why [`crate::SketchServer::swap_snapshot`] refused to publish a new
+/// generation.  Every refusal leaves the live generation untouched.
+#[derive(Debug)]
+pub enum SwapError {
+    /// The snapshot failed the deep semantic verifier (corrupted,
+    /// truncated, or contract-violating `DSK1` bytes).
+    Verify(dsketch_analysis::AnalysisError),
+    /// Reading or decoding the snapshot failed at the store layer.
+    Store(dsketch_store::StoreError),
+    /// The snapshot holds a different scheme than the one being served.
+    SchemeMismatch {
+        /// The scheme currently live.
+        current: SchemeSpec,
+        /// The scheme the snapshot holds.
+        offered: SchemeSpec,
+    },
+    /// The snapshot was built over a graph with a different node count
+    /// than the one being served (its fingerprint names a different
+    /// node-id universe, so cached routing and clients' ids would break).
+    NodeCountMismatch {
+        /// Node count currently live.
+        current: usize,
+        /// Node count the snapshot was built over.
+        offered: usize,
+    },
+}
+
+impl std::fmt::Display for SwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwapError::Verify(e) => write!(f, "snapshot failed deep verification: {e}"),
+            SwapError::Store(e) => write!(f, "snapshot could not be loaded: {e}"),
+            SwapError::SchemeMismatch { current, offered } => write!(
+                f,
+                "snapshot scheme {offered} does not match the serving scheme {current}"
+            ),
+            SwapError::NodeCountMismatch { current, offered } => write!(
+                f,
+                "snapshot covers {offered} nodes but the server is serving {current}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
+impl From<dsketch_analysis::AnalysisError> for SwapError {
+    fn from(e: dsketch_analysis::AnalysisError) -> Self {
+        SwapError::Verify(e)
+    }
+}
+
+impl From<dsketch_store::StoreError> for SwapError {
+    fn from(e: dsketch_store::StoreError) -> Self {
+        SwapError::Store(e)
+    }
+}
+
+/// One slot of the ring: a raw `Arc` pointer plus the count of readers
+/// currently copying out of it.
+struct Slot<T> {
+    pins: AtomicUsize,
+    ptr: AtomicPtr<T>,
+}
+
+impl<T> Slot<T> {
+    fn empty() -> Slot<T> {
+        Slot {
+            pins: AtomicUsize::new(0),
+            ptr: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+}
+
+/// A wait-free-for-readers shared cell holding an `Arc<T>`, replaceable
+/// while readers are loading — the crate's hand-rolled, dependency-free
+/// `ArcSwap`.
+///
+/// * [`SwapCell::load`] clones the current `Arc` without blocking: no
+///   lock, no syscall, and retries only when a writer published between
+///   its two sequence reads (swaps are rare; queries are not).
+/// * [`SwapCell::store`] publishes a replacement and drops the value
+///   displaced from the recycled slot.  Writers serialize on an internal
+///   mutex; the reader path never touches it.
+/// * [`SwapCell::version`] is a single atomic load — the fast path for
+///   "has anything changed since I last looked?" checks on hot loops.
+///
+/// Every `Ordering` here is `SeqCst` on purpose: swaps are measured per
+/// minute while loads are amortized to one per shard batch, so the cost
+/// of the strongest ordering is noise and the correctness argument gets
+/// to use one total order.
+pub struct SwapCell<T> {
+    slots: [Slot<T>; SLOTS],
+    /// Monotonic publication counter; the current slot is `seq % SLOTS`.
+    /// Starts at 1 so version numbers align with generation numbers.
+    seq: AtomicU64,
+    writer: Mutex<()>,
+    /// The cell owns one strong reference per occupied slot, held as raw
+    /// pointers — tie `Send`/`Sync` to `Arc<T>`'s.
+    _owns: PhantomData<Arc<T>>,
+}
+
+// SAFETY: the cell is a container of `Arc<T>`s accessed under the
+// pin/sequence protocol below; it adds no thread affinity of its own, so
+// it is exactly as `Send`/`Sync` as `Arc<T>` (enforced by the bounds).
+unsafe impl<T: Send + Sync> Send for SwapCell<T> {}
+// SAFETY: as above — shared access is the whole point of the protocol.
+unsafe impl<T: Send + Sync> Sync for SwapCell<T> {}
+
+impl<T> SwapCell<T> {
+    /// A cell holding `initial` as version 1.
+    pub fn new(initial: Arc<T>) -> SwapCell<T> {
+        let cell = SwapCell {
+            slots: std::array::from_fn(|_| Slot::empty()),
+            seq: AtomicU64::new(1),
+            writer: Mutex::new(()),
+            _owns: PhantomData,
+        };
+        cell.slots[1 % SLOTS]
+            .ptr
+            .store(Arc::into_raw(initial).cast_mut(), Ordering::SeqCst);
+        cell
+    }
+
+    /// The current version: 1 for the initial value, +1 per [`store`].
+    ///
+    /// One atomic load — hot loops call this per batch and only pay for
+    /// [`load`](SwapCell::load) when the number moved.
+    ///
+    /// [`store`]: SwapCell::store
+    pub fn version(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+
+    /// Clone out the current value.  Never blocks: the only retry is a
+    /// writer publishing between the sequence read and its revalidation.
+    pub fn load(&self) -> Arc<T> {
+        loop {
+            let seq = self.seq.load(Ordering::SeqCst);
+            let slot = &self.slots[(seq % SLOTS as u64) as usize];
+            slot.pins.fetch_add(1, Ordering::SeqCst);
+            if self.seq.load(Ordering::SeqCst) != seq {
+                // A writer published while we pinned; the slot we hold
+                // may be (or be about to become) recycled.  Let it go
+                // and start over — the next iteration sees the new seq.
+                slot.pins.fetch_sub(1, Ordering::SeqCst);
+                std::hint::spin_loop();
+                continue;
+            }
+            let ptr = slot.ptr.load(Ordering::SeqCst);
+            // SAFETY: `ptr` was produced by `Arc::into_raw` (in `new` or
+            // `store`) and the cell still owns that strong reference, so
+            // the allocation is live unless a writer recycled this slot.
+            // Recycling slot `seq % SLOTS` happens only inside `store`
+            // for version `seq + SLOTS`, after (a) every intermediate
+            // version `seq+1 … seq+SLOTS−1` was published and (b) this
+            // slot's pin count was observed to be zero.  Our pin was
+            // acquired *before* the validation load that returned `seq`,
+            // which in the SeqCst total order places it before the
+            // `seq+1` publication — so any later pin check either sees
+            // our pin (and waits) or runs after we unpin below.  While
+            // we hold the pin, therefore, neither the pointer nor the
+            // strong count it guards can be retired.
+            //
+            // SAFETY: per the argument above, `ptr` is a live `Arc`
+            // allocation while our pin is held, so incrementing the
+            // strong count then reconstituting yields a valid clone.
+            let value = unsafe {
+                Arc::increment_strong_count(ptr);
+                Arc::from_raw(ptr)
+            };
+            slot.pins.fetch_sub(1, Ordering::SeqCst);
+            return value;
+        }
+    }
+
+    /// Publish `next` as the new current value and return its version.
+    ///
+    /// The value displaced from the recycled slot (`SLOTS` publications
+    /// old, retired for `SLOTS − 1`) is dropped here — the last reader
+    /// clone of *any* generation keeps that generation alive until it is
+    /// dropped, so "retire" never frees memory a reader still holds.
+    pub fn store(&self, next: Arc<T>) -> u64 {
+        // dsketch-lint: allow(no-unwrap-in-hot-path): a poisoned writer lock means a writer panicked mid-swap — propagate
+        let _writer = self.writer.lock().expect("swap writer lock poisoned");
+        let seq = self.seq.load(Ordering::SeqCst);
+        let incoming = &self.slots[((seq + 1) % SLOTS as u64) as usize];
+        // Wait out readers still pinning the slot being recycled.  Such a
+        // reader pinned against a sequence ≥ SLOTS−1 publications stale,
+        // so it is about to fail validation and unpin; this wait is a few
+        // loads, not a lock readers can contend on.
+        let mut spins = 0u32;
+        while incoming.pins.load(Ordering::SeqCst) != 0 {
+            spins += 1;
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        let fresh = Arc::into_raw(next).cast_mut();
+        let displaced = incoming.ptr.swap(fresh, Ordering::SeqCst);
+        self.seq.store(seq + 1, Ordering::SeqCst);
+        if !displaced.is_null() {
+            // `displaced` is the strong reference the cell took via
+            // `Arc::into_raw` when that generation was published.  It
+            // stopped being current `SLOTS − 1` publications ago, no
+            // reader has been able to pin-and-validate this slot since
+            // (validation compares exact sequence numbers), and the wait
+            // above saw the pin count at zero.  Reader clones hold their
+            // own strong counts and keep the value alive past this drop.
+            //
+            // SAFETY: reconstituting the `Arc` therefore releases the
+            // cell's sole remaining reference, exactly once.
+            drop(unsafe { Arc::from_raw(displaced) });
+        }
+        seq + 1
+    }
+}
+
+impl<T> Drop for SwapCell<T> {
+    fn drop(&mut self) {
+        for slot in &self.slots {
+            let ptr = slot.ptr.swap(std::ptr::null_mut(), Ordering::SeqCst);
+            if !ptr.is_null() {
+                // SAFETY: `&mut self` proves no reader or writer is
+                // active, and each occupied slot holds exactly the one
+                // strong reference the cell took with `Arc::into_raw`.
+                drop(unsafe { Arc::from_raw(ptr) });
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for SwapCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwapCell")
+            .field("version", &self.version())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as Counter;
+
+    /// A payload that counts its drops, so tests can pin down "dropped
+    /// exactly once, and only after the last reader let go".
+    struct DropProbe {
+        id: u64,
+        drops: Arc<Counter>,
+    }
+
+    impl Drop for DropProbe {
+        fn drop(&mut self) {
+            self.drops.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn load_returns_the_stored_value_and_versions_are_monotonic() {
+        let cell = SwapCell::new(Arc::new(10u64));
+        assert_eq!(cell.version(), 1);
+        assert_eq!(*cell.load(), 10);
+        for value in 11..40u64 {
+            let version = cell.store(Arc::new(value));
+            assert_eq!(version, value - 9, "one version per store");
+            assert_eq!(cell.version(), version);
+            assert_eq!(*cell.load(), value, "load sees the latest store");
+        }
+    }
+
+    #[test]
+    fn every_generation_drops_exactly_once() {
+        let drops = Arc::new(Counter::new(0));
+        let make = |id: u64| {
+            Arc::new(DropProbe {
+                id,
+                drops: Arc::clone(&drops),
+            })
+        };
+        let mut held = Vec::new();
+        {
+            let cell = SwapCell::new(make(1));
+            for id in 2..=10u64 {
+                held.push(cell.load());
+                cell.store(make(id));
+            }
+            // 10 generations exist; the cell retires all but the newest
+            // SLOTS of them, but reader clones in `held` keep their
+            // generations alive regardless.
+            assert_eq!(held.iter().map(|g| g.id).min().unwrap(), 1);
+            let alive_in_cell = SLOTS as u64;
+            assert!(drops.load(Ordering::SeqCst) <= 10 - alive_in_cell);
+            // Dropping the reader clones must not double-free retired
+            // generations the cell also released.
+            held.clear();
+        }
+        // Cell and clones gone: all 10 payloads dropped exactly once.
+        assert_eq!(drops.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn reader_clones_keep_retired_generations_alive() {
+        let drops = Arc::new(Counter::new(0));
+        let cell = SwapCell::new(Arc::new(DropProbe {
+            id: 1,
+            drops: Arc::clone(&drops),
+        }));
+        let pinned = cell.load();
+        assert!(Arc::strong_count(&pinned) >= 2, "cell + reader clone");
+        // Push generation 1 fully out of the ring.
+        for id in 2..=(SLOTS as u64 + 2) {
+            cell.store(Arc::new(DropProbe {
+                id,
+                drops: Arc::clone(&drops),
+            }));
+        }
+        // Generation 1 was displaced from its slot, but our clone holds it.
+        assert_eq!(pinned.id, 1);
+        assert_eq!(Arc::strong_count(&pinned), 1, "cell reference released");
+        let dropped_before = drops.load(Ordering::SeqCst);
+        drop(pinned);
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            dropped_before + 1,
+            "last clone drop frees generation 1 exactly once"
+        );
+    }
+
+    #[test]
+    fn concurrent_loads_and_stores_never_yield_torn_or_stale_beyond_window() {
+        let cell = Arc::new(SwapCell::new(Arc::new(1u64)));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    let mut loads = 0u64;
+                    // Loop-with-exit-at-bottom so every reader performs at
+                    // least one load even on a single-core box where the
+                    // writer finishes before readers are first scheduled.
+                    loop {
+                        let value = *cell.load();
+                        assert!(value >= last, "reads must be monotonic per thread");
+                        last = value;
+                        loads += 1;
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    loads
+                })
+            })
+            .collect();
+        for value in 2..500u64 {
+            cell.store(Arc::new(value));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            assert!(reader.join().expect("reader panicked") > 0);
+        }
+        assert_eq!(*cell.load(), 499);
+        assert_eq!(cell.version(), 499);
+    }
+}

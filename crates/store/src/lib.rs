@@ -76,6 +76,7 @@ pub mod error;
 pub mod format;
 pub mod pipeline;
 pub mod snapshot;
+pub mod watch;
 
 pub use error::StoreError;
 pub use format::{SectionId, FORMAT_VERSION, MAGIC, SECTION_BUILD_STATS, SECTION_SKETCHES};
@@ -86,3 +87,4 @@ pub use pipeline::{
     SnapshotContents, SnapshotSummary, StoredSketches,
 };
 pub use snapshot::{RawSnapshot, SnapshotReader, SnapshotWriter};
+pub use watch::{WatchCore, WatchOutcome};

@@ -366,7 +366,9 @@ fn garbage_http_request_lines_get_4xx_not_crashes() {
     // that parses far enough to route counts as an `http_request`.
     let cases: &[(&[u8], &str, bool)] = &[
         (b"GET\r\n\r\n", "400", true),
-        (b"POST /distance?u=1&v=2 HTTP/1.1\r\n\r\n", "405", true),
+        // POST parses at the request-line level (the swap route needs it);
+        // a POST to a read-only path routes far enough to earn a 405.
+        (b"POST /distance?u=1&v=2 HTTP/1.1\r\n\r\n", "405", false),
         (b"FOO BAR BAZ QUX\r\n\r\n", "400", true),
         (b"GET /nope HTTP/1.1\r\n\r\n", "404", false),
         (b"GET /distance HTTP/1.1\r\n\r\n", "400", false),

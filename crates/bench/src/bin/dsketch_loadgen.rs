@@ -74,9 +74,16 @@ fn main() {
         std::process::exit(2);
     });
 
+    dsketch_faults::arm_from_env().unwrap_or_else(|e| {
+        eprintln!("DSKETCH_FAULTS: {e}");
+        std::process::exit(2);
+    });
+
     // One probe connection: liveness, then the node count from the stats
-    // document so the generated pairs match the served sketch.
-    let mut probe = NetClient::connect(&addr, timeout).unwrap_or_else(|e| {
+    // document so the generated pairs match the served sketch.  Retried
+    // with backoff so racing a just-spawned server (CI smoke) is not a
+    // coin flip.
+    let mut probe = NetClient::connect_with_retry(&addr, timeout, timeout).unwrap_or_else(|e| {
         eprintln!("cannot connect to {addr}: {e}");
         std::process::exit(1);
     });
@@ -187,7 +194,7 @@ fn run_connection(
     histogram: &Histogram,
 ) -> ConnReport {
     let mut report = ConnReport::default();
-    let mut client = match NetClient::connect(addr, timeout) {
+    let mut client = match NetClient::connect_with_retry(addr, timeout, timeout) {
         Ok(client) => client,
         Err(e) => {
             report.transport_error = Some(format!("connect: {e}"));

@@ -43,6 +43,10 @@ use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Err(e) = dsketch_faults::arm_from_env() {
+        eprintln!("DSKETCH_FAULTS: {e}");
+        std::process::exit(2);
+    }
     let scheme_text = arg_value(&args, "scheme").unwrap_or_else(|| "tz:3".to_string());
     let topology_text = arg_value(&args, "topology").unwrap_or_else(|| "erdos-renyi".to_string());
     let workload_text = arg_value(&args, "workload").unwrap_or_else(|| "all".to_string());

@@ -97,6 +97,10 @@ fn usage() -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Err(e) = dsketch_faults::arm_from_env() {
+        eprintln!("DSKETCH_FAULTS: {e}");
+        std::process::exit(2);
+    }
     match args.get(1).map(String::as_str) {
         Some("build") => cmd_build(&args),
         Some("inspect") => cmd_inspect(&args),
@@ -163,20 +167,29 @@ fn cmd_watch(args: &[String]) {
             Err(e) => {
                 // Transient failures (edge list mid-rewrite, disk hiccup)
                 // must not kill the loop; state is unchanged, so the next
-                // tick simply retries.
-                eprintln!("[tick {tick}] watch error: {e} — retrying next tick");
+                // tick simply retries — after a backoff that grows with
+                // the failure streak.
+                eprintln!(
+                    "[tick {tick}] watch error: {e} — retrying (streak {})",
+                    core.consecutive_failures()
+                );
             }
         }
         if iterations != 0 && tick >= iterations {
             return;
         }
-        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        let base = std::time::Duration::from_millis(interval_ms);
+        std::thread::sleep(core.next_delay(base, base.saturating_mul(32)));
     }
 }
 
 /// Tell the live server at `addr` to hot-swap in the snapshot at `path`.
 fn swap_live_server(addr: &str, path: &str, tick: u64) {
-    match dsketch_serve::NetClient::connect(addr, std::time::Duration::from_secs(10)) {
+    match dsketch_serve::NetClient::connect_with_retry(
+        addr,
+        std::time::Duration::from_secs(10),
+        std::time::Duration::from_secs(10),
+    ) {
         Ok(mut client) => match client.swap(path) {
             Ok(generation) => {
                 println!("[tick {tick}] live server {addr} swapped to generation {generation}");

@@ -20,10 +20,12 @@ use netgraph::{Graph, NodeId};
 /// it, `e14` the parallel construction engine's thread scaling, `e15` the
 /// frozen flat query path's single-thread throughput vs the `BTreeMap`
 /// path, `e16` the network front end's loopback answer identity, `e17`
-/// hot snapshot swapping under sustained query load).
-pub const EXPERIMENT_IDS: [&str; 17] = [
+/// hot snapshot swapping under sustained query load, `e18` the
+/// deterministic fault-injection chaos battery over the whole serve
+/// stack).
+pub const EXPERIMENT_IDS: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
 /// The output of one experiment.
@@ -72,6 +74,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentResult> {
         "e15" => Some(e15_flat_query_throughput(quick)),
         "e16" => Some(e16_net_front_end(quick)),
         "e17" => Some(e17_swap_under_load(quick)),
+        "e18" => Some(e18_chaos_battery(quick)),
         _ => None,
     }
 }
@@ -1372,6 +1375,349 @@ fn e17_swap_under_load(quick: bool) -> ExperimentResult {
                 is exactly correct for a generation that was live during its call, and \
                 the p99 under sustained swapping stays within small-constant reach of \
                 the swap-free baseline (the only added cost is cache re-misses)",
+        table,
+    }
+}
+
+/// E18 — the chaos battery: deterministic fault injection end to end.
+///
+/// Three storms, each against a different layer of the serve stack, all
+/// driven by seeded [`dsketch_faults`] plans so every run injects the
+/// same faults at the same points:
+///
+/// * **Phase A** panics a serving shard mid-dispatch, once per scheme
+///   family.  Shed pairs must come back as the typed retryable
+///   `ShardPanicked` error (never a wrong distance), the supervisor must
+///   record exactly one restart per injected panic, and a disarmed
+///   recovery sweep must answer every query oracle-identically.
+/// * **Phase B** fails the watch loop's rebuild and then the snapshot
+///   save's fsync and rename.  The loop must back off inside the jittered
+///   exponential window, leave no torn `.tmp` staging file behind, and
+///   converge to a loadable, fingerprint-correct snapshot the first tick
+///   after the fault budget is spent.
+/// * **Phase C** corrupts the TCP front end: dropped reads, broken
+///   response writes, and shed accepts (counted as overloads).  A client
+///   using `connect_with_retry` must ride through every fault with
+///   reconnects alone — zero wrong answers — and a clean sweep must
+///   succeed once the faults exhaust.
+///
+/// The battery asserts it armed at least six distinct failpoints spanning
+/// the store, serve, net, and watch layers, and that it leaves the
+/// process fully disarmed.
+fn e18_chaos_battery(quick: bool) -> ExperimentResult {
+    use crate::workloads::QueryWorkload;
+    use dsketch_serve::{NetClient, NetConfig, NetServer, ServeConfig, SketchServer};
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let n = if quick { 64 } else { 128 };
+    let storm_queries = if quick { 512 } else { 2_048 };
+    let net_queries = if quick { 160 } else { 800 };
+
+    dsketch_faults::disarm_all();
+    let mut armed_points: BTreeSet<&'static str> = BTreeSet::new();
+    let mut table = Table::new(&[
+        "phase",
+        "target",
+        "queries",
+        "injected",
+        "wrong",
+        "restarts",
+        "recovered",
+        "detail",
+    ]);
+
+    // ---- Phase A: shard panic storm, one pass per scheme family. ----
+    let graph = WorkloadSpec::new(Workload::ErdosRenyi, n, 42).build();
+    let pairs = QueryWorkload::Uniform.generate(n, storm_queries, 7);
+    for scheme in SchemeSpec::all_families() {
+        let outcome = SketchBuilder::new(scheme)
+            .seed(13)
+            .build(&graph)
+            .expect("scheme construction");
+        let oracle: Arc<dyn DistanceOracle> = Arc::from(outcome.sketches);
+        let server =
+            SketchServer::start(Arc::clone(&oracle), ServeConfig::default()).expect("server start");
+        let client = server.client();
+
+        // Hits 0..3 dispatch cleanly, hits 3 and 4 panic the dequeuing
+        // shard — so the storm lands inside the first batches and is
+        // over (trip budget spent) well before the sweep ends.
+        dsketch_faults::arm_from_spec("seed=101;serve.shard.dispatch=panic,after=3,max=2")
+            .expect("valid fault spec");
+        armed_points.insert("serve.shard.dispatch");
+
+        let mut wrong = 0u64;
+        let mut shed = 0u64;
+        for chunk in pairs.chunks(32) {
+            for (mut result, &(u, v)) in client.query_batch(chunk).into_iter().zip(chunk) {
+                // A panicked shard sheds its in-flight job; its pairs come
+                // back `ShardPanicked`.  The error's contract is "retry":
+                // the supervisor is respawning the worker, so a bounded
+                // retry loop must settle (the trip budget caps repeats).
+                let mut retries = 0u32;
+                while matches!(result, Err(SketchError::ShardPanicked { .. })) {
+                    shed += 1;
+                    retries += 1;
+                    assert!(
+                        retries <= 64,
+                        "{scheme}: retry budget exhausted for ({u}, {v})"
+                    );
+                    result = client.query(u, v);
+                }
+                match (result, oracle.estimate(u, v)) {
+                    (Ok(got), Ok(want)) if got == want => {}
+                    (Err(_), Err(_)) => {}
+                    _ => wrong += 1,
+                }
+            }
+        }
+        let injected = dsketch_faults::registry().trips("serve.shard.dispatch");
+        dsketch_faults::disarm_all();
+        assert!(injected >= 1, "{scheme}: the storm must panic a shard");
+        assert!(
+            shed >= injected,
+            "{scheme}: every panic sheds at least its in-flight job"
+        );
+
+        // Disarmed recovery sweep: restarted shards serve from fresh
+        // caches and every answer must again match the oracle exactly.
+        let mut recovery_wrong = 0u64;
+        for chunk in pairs.chunks(64) {
+            for (result, &(u, v)) in client.query_batch(chunk).into_iter().zip(chunk) {
+                match (result, oracle.estimate(u, v)) {
+                    (Ok(got), Ok(want)) if got == want => {}
+                    (Err(SketchError::ShardPanicked { .. }), _) => recovery_wrong += 1,
+                    (Err(_), Err(_)) => {}
+                    _ => recovery_wrong += 1,
+                }
+            }
+        }
+        drop(client);
+        let stats = server.shutdown();
+        assert_eq!(wrong, 0, "{scheme}: a panic storm may shed, never corrupt");
+        assert_eq!(recovery_wrong, 0, "{scheme}: recovery must be complete");
+        assert_eq!(
+            stats.totals.restarts, injected,
+            "{scheme}: every injected panic is followed by a recorded restart"
+        );
+        table.push(vec![
+            "A panic storm".to_string(),
+            scheme.to_string(),
+            (pairs.len() as u64 * 2 + shed).to_string(),
+            injected.to_string(),
+            (wrong + recovery_wrong).to_string(),
+            stats.totals.restarts.to_string(),
+            "yes".to_string(),
+            format!("{shed} shed answers retried to success"),
+        ]);
+    }
+
+    // ---- Phase B: watch-loop convergence under store faults. ----
+    let dir = std::env::temp_dir().join("dsketch_e18_chaos");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let edges = dir.join("e18.edges");
+    let snap = dir.join("e18.dsk");
+    std::fs::remove_file(&snap).ok();
+    let watch_graph = WorkloadSpec::new(Workload::ErdosRenyi, 32, 9).build();
+    netgraph::io::save_edge_list(&watch_graph, &edges).expect("edge list");
+    let mut core = dsketch_store::WatchCore::new(
+        &edges,
+        &snap,
+        SchemeSpec::thorup_zwick(2),
+        SchemeConfig::default().with_seed(5).with_parallel_build(),
+    );
+    // Two rebuild faults, then one fsync fault and one rename fault inside
+    // the crash-safe save: four failed ticks, then convergence.
+    dsketch_faults::arm_from_spec(
+        "seed=7;watch.rebuild=error,max=2;store.save.fsync=error,max=1;store.save.rename=error,max=1",
+    )
+    .expect("valid fault spec");
+    armed_points.extend(["watch.rebuild", "store.save.fsync", "store.save.rename"]);
+
+    let base = Duration::from_millis(10);
+    let cap = Duration::from_millis(160);
+    let mut failed_ticks = 0u32;
+    let mut ticks = 0u32;
+    let converged = loop {
+        ticks += 1;
+        assert!(
+            ticks <= 16,
+            "watch must converge once the fault budget is spent"
+        );
+        match core.check_once() {
+            Ok(outcome) => break outcome,
+            Err(_) => {
+                failed_ticks += 1;
+                assert_eq!(core.consecutive_failures(), failed_ticks);
+                let raw = base.saturating_mul(2u32.pow(failed_ticks.min(16))).min(cap);
+                let delay = core.next_delay(base, cap);
+                assert!(
+                    delay >= raw / 2 && delay <= raw,
+                    "failed tick {failed_ticks}: backoff {delay:?} outside [{:?}, {raw:?}]",
+                    raw / 2
+                );
+                // A failed save must never leave a torn staging file.
+                let litter = dir
+                    .read_dir()
+                    .expect("temp dir listing")
+                    .filter_map(|entry| entry.ok())
+                    .any(|entry| entry.path().extension().is_some_and(|ext| ext == "tmp"));
+                assert!(!litter, "no .tmp staging litter after a failed tick");
+            }
+        }
+    };
+    let watch_injected = dsketch_faults::registry().total_trips();
+    dsketch_faults::disarm_all();
+    assert!(
+        matches!(converged, dsketch_store::WatchOutcome::Rebuilt { nodes, .. } if nodes == 32),
+        "convergence tick rebuilds the watched graph"
+    );
+    assert_eq!(
+        failed_ticks, 4,
+        "two rebuild faults + fsync + rename cost one tick each"
+    );
+    assert_eq!(core.consecutive_failures(), 0);
+    assert_eq!(core.next_delay(base, cap), base, "healthy cadence restored");
+    let (_, stored) = dsketch_store::peek_snapshot_meta(&snap).expect("converged snapshot header");
+    assert_eq!(
+        stored,
+        watch_graph.fingerprint(),
+        "snapshot tracks the graph"
+    );
+    dsketch_store::load_frozen_oracle(&snap).expect("converged snapshot loads");
+    table.push(vec![
+        "B watch storm".to_string(),
+        "rebuild loop".to_string(),
+        ticks.to_string(),
+        watch_injected.to_string(),
+        "0".to_string(),
+        "-".to_string(),
+        "yes".to_string(),
+        format!("{failed_ticks} failed ticks, converged on tick {ticks}, no .tmp litter"),
+    ]);
+
+    // ---- Phase C: TCP front end under read/write/accept faults. ----
+    let outcome = SketchBuilder::new(SchemeSpec::thorup_zwick(2))
+        .seed(13)
+        .build(&graph)
+        .expect("scheme construction");
+    let oracle: Arc<dyn DistanceOracle> = Arc::from(outcome.sketches);
+    let server = NetServer::start(
+        Arc::clone(&oracle),
+        ServeConfig::default(),
+        NetConfig::default(),
+        "127.0.0.1:0",
+    )
+    .expect("net server start");
+    let addr = server.local_addr().to_string();
+    // The first two accepted connections are shed with a 503 (overload
+    // path), every ~4th frame read drops the connection, and two response
+    // writes break mid-storm.
+    dsketch_faults::arm_from_spec(
+        "seed=13;net.read.frame=error,one_in=4,max=6;net.write.frame=error,after=20,max=2;net.accept.handoff=error,max=2",
+    )
+    .expect("valid fault spec");
+    armed_points.extend(["net.read.frame", "net.write.frame", "net.accept.handoff"]);
+
+    let timeout = Duration::from_secs(5);
+    let deadline = Duration::from_secs(10);
+    let mut client = NetClient::connect_with_retry(&addr, timeout, deadline).expect("connect");
+    let net_pairs = QueryWorkload::Uniform.generate(n, net_queries, 21);
+    let mut reconnects = 0u64;
+    let mut net_wrong = 0u64;
+    for &(u, v) in &net_pairs {
+        let answer = loop {
+            match client.query(u, v) {
+                Ok(answer) => break answer,
+                Err(_) => {
+                    // Transport faults (dropped reads, broken writes, shed
+                    // accepts) surface as connection errors; ride through
+                    // with the backoff-retrying reconnect.
+                    reconnects += 1;
+                    assert!(reconnects <= 256, "transport retry budget exhausted");
+                    client = NetClient::connect_with_retry(&addr, timeout, deadline)
+                        .expect("reconnect within deadline");
+                }
+            }
+        };
+        match (answer, oracle.estimate(u, v)) {
+            (Ok(got), Ok(want)) if got == want => {}
+            (Err(_), Err(_)) => {}
+            _ => net_wrong += 1,
+        }
+    }
+    let read_trips = dsketch_faults::registry().trips("net.read.frame");
+    let write_trips = dsketch_faults::registry().trips("net.write.frame");
+    let handoff_trips = dsketch_faults::registry().trips("net.accept.handoff");
+    dsketch_faults::disarm_all();
+    assert!(
+        read_trips >= 1,
+        "the storm must drop at least one frame read"
+    );
+    assert_eq!(handoff_trips, 2, "both shed-accept trips must fire");
+    assert!(
+        reconnects >= read_trips,
+        "every dropped read costs (at least) one reconnect"
+    );
+
+    // Clean sweep with the faults disarmed: one connection, no errors.
+    let mut client =
+        NetClient::connect_with_retry(&addr, timeout, deadline).expect("clean reconnect");
+    client.ping().expect("ping after the storm");
+    for &(u, v) in net_pairs.iter().take(64) {
+        let answer = client.query(u, v).expect("clean transport");
+        match (answer, oracle.estimate(u, v)) {
+            (Ok(got), Ok(want)) if got == want => {}
+            (Err(_), Err(_)) => {}
+            other => panic!("post-storm answer diverged for ({u}, {v}): {other:?}"),
+        }
+    }
+    drop(client);
+    let net_stats = server.shutdown();
+    assert_eq!(net_wrong, 0, "net faults cost availability, never answers");
+    assert_eq!(
+        net_stats.net.overloads, handoff_trips,
+        "every shed accept is counted as an overload"
+    );
+    table.push(vec![
+        "C net storm".to_string(),
+        "tcp front end".to_string(),
+        (net_pairs.len() as u64 + 64).to_string(),
+        (read_trips + write_trips + handoff_trips).to_string(),
+        net_wrong.to_string(),
+        "-".to_string(),
+        "yes".to_string(),
+        format!("{reconnects} reconnects, {handoff_trips} overload 503s"),
+    ]);
+
+    assert!(
+        armed_points.len() >= 6,
+        "the battery must span at least six distinct failpoints: {armed_points:?}"
+    );
+    for layer in ["store.", "serve.", "net.", "watch."] {
+        assert!(
+            armed_points.iter().any(|point| point.starts_with(layer)),
+            "the battery must cover the {layer} layer: {armed_points:?}"
+        );
+    }
+    assert_eq!(
+        dsketch_faults::registry().armed_points(),
+        0,
+        "e18 must leave the process disarmed"
+    );
+    std::fs::remove_file(&edges).ok();
+    std::fs::remove_file(&snap).ok();
+    ExperimentResult {
+        id: "e18",
+        title: "Chaos battery: deterministic fault injection across the serve stack",
+        claim: "a deterministic, label-only serving stack degrades only in availability, \
+                never in correctness: injected shard panics, torn saves, failed rebuild \
+                ticks, dropped frames, and shed accepts each surface as typed, retryable \
+                errors while every answer that is delivered — during the storm and after \
+                recovery — exactly matches the offline oracle, with every panic matched \
+                by a recorded supervisor restart",
         table,
     }
 }

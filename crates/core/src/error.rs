@@ -24,6 +24,13 @@ pub enum SketchError {
         /// The limit that was hit.
         limit: u64,
     },
+    /// A serving shard panicked while this query batch was in flight.  The
+    /// supervisor restarts the shard with a fresh cache, so retrying the
+    /// same query is expected to succeed.
+    ShardPanicked {
+        /// Index of the shard that panicked.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for SketchError {
@@ -36,6 +43,12 @@ impl std::fmt::Display for SketchError {
             SketchError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
             SketchError::RoundLimitExceeded { limit } => {
                 write!(f, "round limit of {limit} exceeded before termination")
+            }
+            SketchError::ShardPanicked { shard } => {
+                write!(
+                    f,
+                    "query shard {shard} panicked mid-batch; it has been restarted — retry"
+                )
             }
         }
     }
@@ -64,5 +77,8 @@ mod tests {
         assert!(SketchError::RoundLimitExceeded { limit: 10 }
             .to_string()
             .contains("10"));
+        assert!(SketchError::ShardPanicked { shard: 2 }
+            .to_string()
+            .contains("shard 2"));
     }
 }

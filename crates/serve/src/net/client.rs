@@ -38,6 +38,61 @@ impl NetClient {
         Err(last)
     }
 
+    /// [`NetClient::connect`] with bounded retry: keep trying until
+    /// `deadline` has elapsed, sleeping between attempts with capped
+    /// exponential backoff and decorrelated jitter (seeded from `addr`,
+    /// so concurrent clients desynchronize deterministically).
+    ///
+    /// This is the right call for racing a server that is still binding
+    /// its listener (CI smoke tests, loadgen against a just-spawned
+    /// server): a refused or timed-out connect is retried instead of
+    /// surfacing, and only the attempt that exhausts the deadline returns
+    /// its error.  `timeout` governs each individual connect attempt and
+    /// becomes the connected client's frame deadline.
+    pub fn connect_with_retry(
+        addr: &str,
+        timeout: Duration,
+        deadline: Duration,
+    ) -> Result<NetClient, NetError> {
+        let started = Instant::now();
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(500);
+        let mut jitter = addr.bytes().fold(0x9E37_79B9_7F4A_7C15u64, |acc, b| {
+            (acc ^ u64::from(b)).wrapping_mul(0x100_0000_01B3)
+        });
+        let mut attempt = 0u32;
+        loop {
+            let remaining = deadline.saturating_sub(started.elapsed());
+            if remaining.is_zero() {
+                return NetClient::connect(addr, timeout);
+            }
+            match NetClient::connect(addr, timeout.min(remaining.max(base))) {
+                Ok(client) => return Ok(client),
+                Err(_) => {
+                    let raw = base
+                        .saturating_mul(2u32.saturating_pow(attempt.min(16)))
+                        .min(cap);
+                    // splitmix64 step for the jitter draw.
+                    jitter = jitter.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    let mut z = jitter;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    z ^= z >> 31;
+                    let nanos = u64::try_from(raw.as_nanos()).unwrap_or(u64::MAX);
+                    let sleep = Duration::from_nanos(nanos / 2 + z % (nanos / 2 + 1))
+                        .min(deadline.saturating_sub(started.elapsed()));
+                    std::thread::sleep(sleep);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Replace the per-operation deadline (connect kept its own).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
     /// Send one request frame and wait for its response frame.
     pub fn round_trip(&mut self, request: &Request) -> Result<Response, NetError> {
         wire::write_all_deadline(&self.stream, &request.to_frame(), self.timeout)?;

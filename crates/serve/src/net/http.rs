@@ -14,6 +14,11 @@
 //!   filesystem); `{"generation":N}` on success, a `409` with error
 //!   class `swap-refused` when the snapshot fails verification or
 //!   compatibility gates.
+//! * `GET /faults` — the armed failpoints: names, plans, hit and trip
+//!   counts (`{"armed_points":0,…}` in normal operation).
+//! * `POST /faults?spec=<spec>` — arm the deterministic fault plan in
+//!   `<spec>` (percent-encoded `DSKETCH_FAULTS` grammar), replacing
+//!   whatever was armed; `POST /faults?disarm=all` disarms everything.
 //!
 //! Errors map onto conventional status codes: an unparsable request line
 //! or missing/garbled parameters is `400`, an unknown node is `404`, a
@@ -161,6 +166,8 @@ fn route(method: &str, target: &str, ctx: &WorkerCtx) -> String {
         ("GET", "/metrics") => text_reply(200, &ctx.metrics_document()),
         ("GET", "/trace") => trace_route(query, ctx),
         ("POST", "/swap") => swap_route(query, ctx),
+        ("GET", "/faults") => json_reply(200, &faults_status_json()),
+        ("POST", "/faults") => faults_route(query),
         ("POST", "/distance" | "/stats" | "/metrics" | "/trace") => error_reply(
             405,
             "method-not-allowed",
@@ -174,8 +181,83 @@ fn route(method: &str, target: &str, ctx: &WorkerCtx) -> String {
         _ => error_reply(
             404,
             "not-found",
-            "unknown path (try /distance, /stats, /metrics, /trace, or POST /swap)",
+            "unknown path (try /distance, /stats, /metrics, /trace, /faults, or POST /swap)",
         ),
+    }
+}
+
+/// The `GET /faults` body: every armed failpoint with its plan and
+/// counters, plus the two headline numbers the chaos battery and the CI
+/// `faults-disarmed` assert key on.
+fn faults_status_json() -> String {
+    let registry = dsketch_faults::registry();
+    let points: Vec<String> = registry
+        .status()
+        .into_iter()
+        .map(|p| {
+            format!(
+                "{{\"point\":\"{}\",\"action\":\"{}\",\"one_in\":{},\"after\":{},\
+                 \"max\":{},\"hits\":{},\"trips\":{}}}",
+                json_escape(&p.name),
+                p.plan.action,
+                p.plan.one_in,
+                p.plan.after,
+                p.plan.max,
+                p.hits,
+                p.trips
+            )
+        })
+        .collect();
+    format!(
+        "{{\"armed_points\":{},\"total_trips\":{},\"points\":[{}]}}",
+        registry.armed_points(),
+        registry.total_trips(),
+        points.join(",")
+    )
+}
+
+/// `POST /faults?spec=<percent-encoded spec>` — arm a deterministic fault
+/// plan (replacing whatever was armed); `POST /faults?disarm=all` disarms
+/// everything.  Success answers the same status document as `GET /faults`.
+fn faults_route(query: &str) -> String {
+    let mut spec = None;
+    let mut disarm = false;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = match pair.split_once('=') {
+            Some(kv) => kv,
+            None => return error_reply(400, "bad-request", "parameters must be key=value"),
+        };
+        match key {
+            "spec" => {
+                spec = match percent_decode(value) {
+                    Some(spec) => Some(spec),
+                    None => {
+                        return error_reply(
+                            400,
+                            "bad-request",
+                            "spec= is not valid percent-encoded UTF-8",
+                        )
+                    }
+                };
+            }
+            "disarm" if value == "all" => disarm = true,
+            "disarm" => {
+                return error_reply(400, "bad-request", "disarm=all is the only disarm form")
+            }
+            _ => return error_reply(400, "bad-request", format!("unknown parameter '{key}'")),
+        }
+    }
+    match (spec, disarm) {
+        (Some(_), true) => error_reply(400, "bad-request", "spec= and disarm=all are exclusive"),
+        (Some(spec), false) => match dsketch_faults::arm_from_spec(&spec) {
+            Ok(_) => json_reply(200, &faults_status_json()),
+            Err(e) => error_reply(400, "bad-fault-spec", e.to_string()),
+        },
+        (None, true) => {
+            dsketch_faults::disarm_all();
+            json_reply(200, &faults_status_json())
+        }
+        (None, false) => error_reply(400, "bad-request", "spec=<spec> or disarm=all is required"),
     }
 }
 
@@ -306,6 +388,7 @@ fn distance_route(query: &str, ctx: &WorkerCtx) -> String {
             let (status, code) = match &e {
                 SketchError::UnknownNode(_) => (404, WireErrorCode::UnknownNode),
                 SketchError::NoCommonLandmark { .. } => (422, WireErrorCode::NoCommonLandmark),
+                SketchError::ShardPanicked { .. } => (503, WireErrorCode::ShardPanicked),
                 _ => (500, WireErrorCode::Internal),
             };
             error_reply(status, code.name(), e.to_string())
@@ -332,6 +415,7 @@ fn reply_with_type(status: u16, content_type: &str, body: &str) -> String {
         409 => "Conflict",
         422 => "Unprocessable Entity",
         431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
     format!(

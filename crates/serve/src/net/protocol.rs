@@ -181,6 +181,10 @@ pub enum WireErrorCode {
     /// or did not match the serving scheme / node count.  The live
     /// generation is untouched.
     SwapRefused,
+    /// A query shard panicked with this batch in flight
+    /// ([`SketchError::ShardPanicked`]).  The supervisor restarts the
+    /// shard, so an immediate retry is expected to succeed.
+    ShardPanicked,
 }
 
 impl WireErrorCode {
@@ -194,6 +198,7 @@ impl WireErrorCode {
             WireErrorCode::ShuttingDown => "shutting-down",
             WireErrorCode::Internal => "internal",
             WireErrorCode::SwapRefused => "swap-refused",
+            WireErrorCode::ShardPanicked => "shard-panicked",
         }
     }
 
@@ -206,6 +211,7 @@ impl WireErrorCode {
             WireErrorCode::ShuttingDown => 5,
             WireErrorCode::Internal => 6,
             WireErrorCode::SwapRefused => 7,
+            WireErrorCode::ShardPanicked => 8,
         }
     }
 
@@ -218,6 +224,7 @@ impl WireErrorCode {
             5 => Ok(WireErrorCode::ShuttingDown),
             6 => Ok(WireErrorCode::Internal),
             7 => Ok(WireErrorCode::SwapRefused),
+            8 => Ok(WireErrorCode::ShardPanicked),
             other => Err(CodecError::Invalid {
                 context: "WireErrorCode",
                 message: format!("unknown error code byte {other}"),
@@ -248,6 +255,7 @@ impl WireError {
         let code = match e {
             SketchError::UnknownNode(_) => WireErrorCode::UnknownNode,
             SketchError::NoCommonLandmark { .. } => WireErrorCode::NoCommonLandmark,
+            SketchError::ShardPanicked { .. } => WireErrorCode::ShardPanicked,
             _ => WireErrorCode::Internal,
         };
         WireError::new(code, e.to_string())
@@ -700,6 +708,9 @@ mod tests {
         let internal = WireError::from_sketch(&SketchError::InvalidParameters("k".into()));
         assert_eq!(internal.code, WireErrorCode::Internal);
         assert!(internal.to_string().contains("internal"));
+        let panicked = WireError::from_sketch(&SketchError::ShardPanicked { shard: 3 });
+        assert_eq!(panicked.code, WireErrorCode::ShardPanicked);
+        assert!(panicked.detail.contains("shard 3"));
     }
 
     #[test]
@@ -712,11 +723,13 @@ mod tests {
             WireErrorCode::ShuttingDown,
             WireErrorCode::Internal,
             WireErrorCode::SwapRefused,
+            WireErrorCode::ShardPanicked,
         ] {
             assert_eq!(WireErrorCode::from_byte(code.to_byte()), Ok(code));
             assert!(!code.name().is_empty());
         }
         assert_eq!(WireErrorCode::SwapRefused.name(), "swap-refused");
+        assert_eq!(WireErrorCode::ShardPanicked.name(), "shard-panicked");
         assert!(WireErrorCode::from_byte(0).is_err());
         assert!(WireErrorCode::from_byte(200).is_err());
     }

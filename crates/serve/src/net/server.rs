@@ -420,11 +420,20 @@ fn run_accept_loop(
         match listener.accept() {
             Ok((stream, _peer)) => {
                 counters.connections_accepted.inc();
-                match conn_tx.try_send(stream) {
+                // The failpoint forces the Full path so the overload
+                // answer can be exercised without actually saturating the
+                // hand-off queue.
+                let handoff = if dsketch_faults::fail_point!("net.accept.handoff").is_some() {
+                    Err(TrySendError::Full(stream))
+                } else {
+                    conn_tx.try_send(stream)
+                };
+                match handoff {
                     Ok(()) => {}
                     Err(TrySendError::Full(stream)) => {
                         counters.connections_refused.inc();
-                        drop(stream);
+                        counters.overload.inc();
+                        shed_overload(stream);
                     }
                     Err(TrySendError::Disconnected(stream)) => {
                         drop(stream);
@@ -442,6 +451,23 @@ fn run_accept_loop(
         }
     }
     // conn_tx drops here: workers drain what is queued, then exit.
+}
+
+/// Best-effort overload answer for a connection shed at the front door: a
+/// complete HTTP `503` with a `Retry-After` hint, written with a short
+/// deadline and ignored on failure.  HTTP clients get an actionable
+/// response instead of a bare RST; binary clients fail their frame read
+/// exactly as a plain drop would have made them.
+fn shed_overload(stream: TcpStream) {
+    const BODY: &str = "{\"error\":\"overloaded\",\"detail\":\"accept queue full; retry shortly\"}";
+    let response = format!(
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nRetry-After: 1\r\nConnection: close\r\n\r\n{}",
+        BODY.len(),
+        BODY
+    );
+    let _ = wire::write_all_deadline(&stream, response.as_bytes(), Duration::from_millis(200));
+    drop(stream);
 }
 
 /// One connection worker: take sockets from the shared queue until the
@@ -646,11 +672,11 @@ pub(crate) fn stats_json(ctx: &WorkerCtx) -> String {
             "\"serve\":{{\"queries\":{},\"cache_hits\":{},\"cache_misses\":{},",
             "\"cache_invalidations\":{},",
             "\"errors\":{},\"batches\":{},\"busy_nanos\":{},\"max_latency_nanos\":{},",
-            "\"shards\":{}}},",
+            "\"restarts\":{},\"shards\":{}}},",
             "\"net\":{{\"connections_accepted\":{},\"connections_refused\":{},",
             "\"connections_closed\":{},\"frames_in\":{},\"frames_out\":{},",
             "\"http_requests\":{},\"bytes_in\":{},\"bytes_out\":{},",
-            "\"timeouts\":{},\"protocol_errors\":{}}},",
+            "\"timeouts\":{},\"protocol_errors\":{},\"overloads\":{}}},",
             "\"derived\":{{\"hit_rate\":{:.6},\"frames_per_connection\":{:.3}}}}}"
         ),
         generation.oracle.scheme_name(),
@@ -669,6 +695,7 @@ pub(crate) fn stats_json(ctx: &WorkerCtx) -> String {
         serve.totals.batches,
         serve.totals.busy_nanos,
         serve.totals.max_latency_nanos,
+        serve.totals.restarts,
         serve.num_shards(),
         net.connections_accepted,
         net.connections_refused,
@@ -680,6 +707,7 @@ pub(crate) fn stats_json(ctx: &WorkerCtx) -> String {
         net.bytes_out,
         net.timeouts,
         net.protocol_errors,
+        net.overloads,
         serve.totals.hit_rate(),
         frames_per_connection,
     )

@@ -100,6 +100,19 @@ pub(crate) fn read_frame(
     deadline: Instant,
     abort: Option<&AtomicBool>,
 ) -> Result<ReadOutcome, NetError> {
+    match dsketch_faults::fail_point!("net.read.frame") {
+        None => {}
+        Some(dsketch_faults::Fault::Partial(n)) => {
+            // Simulate a connection torn mid-frame: `n` bytes arrived.
+            return Err(NetError::Truncated {
+                read: usize::try_from(n).unwrap_or(usize::MAX),
+                needed: HEADER_LEN,
+            });
+        }
+        Some(dsketch_faults::Fault::Error) => {
+            return Err(NetError::Io(std::io::ErrorKind::ConnectionReset));
+        }
+    }
     let mut header_bytes = [0u8; HEADER_LEN];
     let total_guess = HEADER_LEN; // refined once the header is parsed
     match read_full(
@@ -198,6 +211,11 @@ pub(crate) fn write_all_deadline(
     bytes: &[u8],
     timeout: Duration,
 ) -> Result<usize, NetError> {
+    if dsketch_faults::fail_point!("net.write.frame").is_some() {
+        // Simulate a peer whose socket vanished before the response went
+        // out; partial and error actions collapse to the same broken pipe.
+        return Err(NetError::Io(std::io::ErrorKind::BrokenPipe));
+    }
     stream
         .set_write_timeout(Some(timeout.max(Duration::from_millis(1))))
         .map_err(|e| NetError::Io(e.kind()))?;

@@ -28,6 +28,13 @@
 //! swap landed.  Cache entries are tagged with the generation that produced
 //! them and lazily discarded on touch after a swap — no flush pause, no
 //! stop-the-world.
+//!
+//! Each worker runs under a per-shard supervisor thread
+//! (`dsketch-serve-sup-{shard}`): a panicking worker is joined, counted in
+//! `dsketch_shard_restarts_total`, and respawned with a fresh cache, while
+//! the shard's queue (held alive by the supervisor) keeps its backlog.  The
+//! batch that was in flight answers with
+//! [`SketchError::ShardPanicked`] instead of tearing the caller down.
 
 use crate::cache::LruCache;
 use crate::stats::{ServeStats, ShardCounters};
@@ -151,6 +158,46 @@ fn shard_of(u: NodeId, v: NodeId, shards: usize) -> usize {
     (z % shards as u64) as usize
 }
 
+/// The supervisor loop for one shard: spawn the worker, join it, and on a
+/// panic restart it with a fresh cache (counted in
+/// `dsketch_shard_restarts_total`).  The supervisor's `Arc` keeps the shard's
+/// `Receiver` alive across restarts, so queued batches survive a crash —
+/// only the batch that was in flight when the worker died loses its reply
+/// (the client observes the dropped reply sender and answers those pairs
+/// with [`SketchError::ShardPanicked`]).  A worker that returns normally
+/// means every sender is gone: orderly shutdown, and the supervisor exits.
+fn supervise_shard(
+    shard: usize,
+    cell: Arc<SwapCell<Generation>>,
+    rx: Arc<Mutex<Receiver<Job>>>,
+    counters: ShardCounters,
+    tracer: Arc<Tracer>,
+    cache_capacity: usize,
+) {
+    loop {
+        let worker_cell = Arc::clone(&cell);
+        let worker_rx = Arc::clone(&rx);
+        let worker_counters = counters.clone();
+        let worker_tracer = Arc::clone(&tracer);
+        let worker = dsketch::parallel::spawn_named(&format!("dsketch-serve-{shard}"), move || {
+            run_worker(
+                shard,
+                worker_cell,
+                worker_rx,
+                worker_counters,
+                worker_tracer,
+                cache_capacity,
+            )
+        });
+        match worker.join() {
+            Ok(()) => break,
+            Err(_panic) => {
+                counters.restarts.inc();
+            }
+        }
+    }
+}
+
 /// The worker loop: drain batches, answer each pair cache-first, reply.
 ///
 /// Generation handling: the worker keeps one `Arc<Generation>` and probes
@@ -159,19 +206,46 @@ fn shard_of(u: NodeId, v: NodeId, shards: usize) -> usize {
 /// generation that computed them; an entry whose tag does not match the
 /// current generation is discarded on touch (counted as an invalidation
 /// *and* a miss, so `hits + misses == queries` stays true across swaps).
+///
+/// The receiver arrives behind a mutex because the supervisor hands the
+/// same channel to each worker incarnation; there is exactly one live
+/// worker per shard, so the lock is uncontended.  It is taken only for the
+/// blocking `recv` and released before the batch is processed, so a panic
+/// mid-batch never poisons it (and a poisoned lock from a panic elsewhere
+/// is recovered — the protected `Receiver` has no invariants to corrupt).
 fn run_worker(
     shard: usize,
     cell: Arc<SwapCell<Generation>>,
-    rx: Receiver<Job>,
+    rx: Arc<Mutex<Receiver<Job>>>,
     counters: ShardCounters,
     tracer: Arc<Tracer>,
     cache_capacity: usize,
 ) {
     let mut cache: LruCache<(NodeId, NodeId), (u64, Distance)> = LruCache::new(cache_capacity);
     let mut current = cell.load();
-    while let Ok(job) = rx.recv() {
+    loop {
+        let job = {
+            let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            match guard.recv() {
+                Ok(job) => job,
+                Err(_) => break, // every sender gone: orderly shutdown
+            }
+        };
         counters.queue_entries.sub(1);
         counters.batches.inc();
+        match dsketch_faults::fail_point!("serve.shard.dispatch") {
+            None => {}
+            Some(_fault) => {
+                // An injected dispatch fault sheds the batch without a
+                // reply: the client sees the dropped reply sender and
+                // answers the affected pairs with `ShardPanicked`, the
+                // same contract as a real worker crash.  (A `panic`
+                // action never reaches this arm — it unwinds inside the
+                // failpoint and exercises the supervisor for real.)
+                drop(job);
+                continue;
+            }
+        }
         if cell.version() != current.number {
             current = cell.load();
         }
@@ -318,15 +392,16 @@ impl SketchServer {
         let mut counters = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
             let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
+            let rx = Arc::new(Mutex::new(rx));
             let shard_counters = ShardCounters::register(&registry, shard);
             let worker_cell = Arc::clone(&cell);
             let worker_counters = shard_counters.clone();
             let worker_tracer = Arc::clone(&tracer);
             let cache_capacity = config.cache_capacity;
             workers.push(dsketch::parallel::spawn_named(
-                &format!("dsketch-serve-{shard}"),
+                &format!("dsketch-serve-sup-{shard}"),
                 move || {
-                    run_worker(
+                    supervise_shard(
                         shard,
                         worker_cell,
                         rx,
@@ -526,9 +601,9 @@ impl SketchServer {
 
     fn join_workers(&mut self) {
         self.senders.clear(); // workers exit when every sender is gone
-        for worker in self.workers.drain(..) {
-            // dsketch-lint: allow(no-unwrap-in-hot-path): join propagates a shard panic — there is no error to type
-            worker.join().expect("query shard panicked");
+        for supervisor in self.workers.drain(..) {
+            // dsketch-lint: allow(no-unwrap-in-hot-path): supervisors absorb worker panics; a supervisor panic is a server bug — propagate
+            supervisor.join().expect("shard supervisor panicked");
         }
     }
 }
@@ -618,16 +693,33 @@ impl ServeClient {
         let mut results: Vec<Option<(Result<Distance, SketchError>, u64)>> =
             vec![None; pairs.len()];
         for _ in 0..jobs_sent {
-            // dsketch-lint: allow(no-unwrap-in-hot-path): a closed reply channel means the shard thread died mid-query — propagate its panic
-            let (generation, batch) = reply_rx.recv().expect("query shard terminated");
+            let (generation, batch) = match reply_rx.recv() {
+                Ok(reply) => reply,
+                // Every reply sender is gone with answers still
+                // outstanding: a shard panicked (or shed its batch) with
+                // this batch in flight.  The supervisor restarts it; the
+                // unanswered slots are filled with a typed error below so
+                // the caller can retry instead of crashing with us.
+                Err(_) => break,
+            };
             for (index, result) in batch {
                 results[index] = Some((result, generation));
             }
         }
         results
             .into_iter()
-            // dsketch-lint: allow(no-unwrap-in-hot-path): routing invariant — every input index is assigned to exactly one shard job
-            .map(|r| r.expect("every pair answered"))
+            .enumerate()
+            .map(|(index, slot)| {
+                slot.unwrap_or_else(|| {
+                    let (u, v) = pairs[index];
+                    (
+                        Err(SketchError::ShardPanicked {
+                            shard: shard_of(u, v, shards),
+                        }),
+                        0,
+                    )
+                })
+            })
             .collect()
     }
 }

@@ -45,6 +45,10 @@ pub struct ShardStats {
     pub busy_nanos: u64,
     /// Largest single-query service time observed, in nanoseconds.
     pub max_latency_nanos: u64,
+    /// Worker restarts performed by this shard's supervisor after a panic.
+    /// A restarted worker starts with a cold cache; the batch in flight at
+    /// crash time answered with `ShardPanicked`.
+    pub restarts: u64,
 }
 
 impl ShardStats {
@@ -59,6 +63,7 @@ impl ShardStats {
         self.batches += other.batches;
         self.busy_nanos += other.busy_nanos;
         self.max_latency_nanos = self.max_latency_nanos.max(other.max_latency_nanos);
+        self.restarts += other.restarts;
     }
 
     /// Fraction of queries answered from cache (0 when no queries ran).
@@ -147,6 +152,9 @@ impl ServeStats {
                     .unwrap_or(0),
                 busy_nanos: latency.sum,
                 max_latency_nanos: latency.max,
+                restarts: snap
+                    .counter("dsketch_shard_restarts_total", &labels)
+                    .unwrap_or(0),
             });
         }
         let mut totals = ShardStats::default();
@@ -221,6 +229,11 @@ pub struct NetStats {
     /// version, oversized length prefix, undecodable payload, garbage
     /// HTTP request line).
     pub protocol_errors: u64,
+    /// Connections shed at the front door because the accept hand-off
+    /// queue was full, answered with a best-effort HTTP
+    /// `503 Service Unavailable` + `Retry-After` before closing.  Every
+    /// overload is also counted in `connections_refused`.
+    pub overloads: u64,
 }
 
 impl NetStats {
@@ -239,6 +252,7 @@ impl NetStats {
             bytes_out: read("dsketch_net_bytes_out_total"),
             timeouts: read("dsketch_net_timeouts_total"),
             protocol_errors: read("dsketch_net_protocol_errors_total"),
+            overloads: read("dsketch_net_overload_total"),
         }
     }
 }
@@ -248,7 +262,8 @@ impl std::fmt::Display for NetStats {
         write!(
             f,
             "{} conns accepted ({} refused, {} closed), {} frames in / {} out, \
-             {} http requests, {} B in / {} B out, {} timeouts, {} protocol errors",
+             {} http requests, {} B in / {} B out, {} timeouts, {} protocol errors, \
+             {} overloads",
             self.connections_accepted,
             self.connections_refused,
             self.connections_closed,
@@ -259,6 +274,7 @@ impl std::fmt::Display for NetStats {
             self.bytes_out,
             self.timeouts,
             self.protocol_errors,
+            self.overloads,
         )
     }
 }
@@ -278,6 +294,9 @@ pub(crate) struct NetCounters {
     pub bytes_out: Counter,
     pub timeouts: Counter,
     pub protocol_errors: Counter,
+    /// Connections shed with a best-effort `503` because the hand-off
+    /// queue was full.
+    pub overload: Counter,
     /// Full binary request→response round trip, read to flush.
     pub roundtrip: Histogram,
 }
@@ -318,6 +337,10 @@ impl NetCounters {
                 "dsketch_net_protocol_errors_total",
                 "Malformed inputs answered with a typed error.",
             ),
+            overload: registry.counter(
+                "dsketch_net_overload_total",
+                "HTTP connections answered 503 because the accept hand-off queue was full.",
+            ),
             roundtrip: registry.histogram(
                 "dsketch_net_roundtrip_nanos",
                 "Binary request round trip: frame read to response flush.",
@@ -337,6 +360,7 @@ impl NetCounters {
             bytes_out: self.bytes_out.value(),
             timeouts: self.timeouts.value(),
             protocol_errors: self.protocol_errors.value(),
+            overloads: self.overload.value(),
         }
     }
 }
@@ -357,6 +381,8 @@ pub(crate) struct ShardCounters {
     latency: Histogram,
     /// Batches currently queued (sent but not yet drained by the worker).
     pub queue_entries: Gauge,
+    /// Worker restarts performed by this shard's supervisor after a panic.
+    pub restarts: Counter,
 }
 
 impl ShardCounters {
@@ -406,6 +432,11 @@ impl ShardCounters {
                 "Batches currently queued for this shard.",
                 labels,
             ),
+            restarts: registry.counter_with(
+                "dsketch_shard_restarts_total",
+                "Worker restarts performed by the shard supervisor after a panic.",
+                labels,
+            ),
         }
     }
 
@@ -420,6 +451,7 @@ impl ShardCounters {
             batches: self.batches.value(),
             busy_nanos: latency.sum,
             max_latency_nanos: latency.max,
+            restarts: self.restarts.value(),
         }
     }
 
@@ -443,6 +475,7 @@ mod tests {
             batches: 2,
             busy_nanos: 1000,
             max_latency_nanos: 400,
+            restarts: 1,
         };
         let b = ShardStats {
             queries: 5,
@@ -453,6 +486,7 @@ mod tests {
             batches: 1,
             busy_nanos: 200,
             max_latency_nanos: 900,
+            restarts: 2,
         };
         a.absorb(&b);
         assert_eq!(a.queries, 15);
@@ -461,6 +495,7 @@ mod tests {
         assert_eq!(a.cache_invalidations, 3);
         assert_eq!(a.batches, 3);
         assert_eq!(a.max_latency_nanos, 900);
+        assert_eq!(a.restarts, 3);
         assert!((a.hit_rate() - 0.6).abs() < 1e-9);
         assert!((a.avg_latency_nanos() - 80.0).abs() < 1e-9);
     }
@@ -534,6 +569,7 @@ mod tests {
         counters.bytes_out.add(3400);
         counters.timeouts.add(5);
         counters.protocol_errors.add(6);
+        counters.overload.add(7);
         let expected = NetStats {
             connections_accepted: 3,
             connections_refused: 1,
@@ -545,6 +581,7 @@ mod tests {
             bytes_out: 3400,
             timeouts: 5,
             protocol_errors: 6,
+            overloads: 7,
         };
         assert_eq!(counters.snapshot(), expected);
         // The registry-snapshot view reads back the same numbers.
@@ -555,6 +592,7 @@ mod tests {
         assert!(text.contains("1200 B in / 3400 B out"));
         assert!(text.contains("5 timeouts"));
         assert!(text.contains("6 protocol errors"));
+        assert!(text.contains("7 overloads"));
     }
 
     #[test]
@@ -569,6 +607,7 @@ mod tests {
                 batches: 10,
                 busy_nanos: 100_000,
                 max_latency_nanos: 5_000,
+                restarts: 0,
             },
             per_shard: vec![ShardStats::default(); 4],
             generation: 3,

@@ -200,13 +200,78 @@ pub fn write_snapshot<W: Write>(writer: W, contents: &SnapshotContents) -> Resul
     Ok(written)
 }
 
-/// Serialize `contents` to the file at `path`.  Returns the bytes written.
+/// The sibling path a crash-safe save stages its bytes at before the
+/// atomic rename: `g.dsk` → `g.dsk.tmp`.
+pub fn snapshot_tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Serialize `contents` to the file at `path`, crash-safely.  Returns the
+/// bytes written.
+///
+/// The bytes are staged at [`snapshot_tmp_path`], fsynced, and renamed
+/// over `path` in one atomic step — a crash or injected fault at any
+/// point leaves either the previous snapshot or the new one at `path`,
+/// never a torn third state, and a failed save removes its own `*.tmp`
+/// so retries start clean.  (A crash between write and rename can leave a
+/// stale `*.tmp` behind; loaders never read it — only the rename
+/// publishes bytes — and the next successful save replaces it.)
+///
+/// Failpoints (see `dsketch-faults`): `store.save.create`,
+/// `store.save.write` (supports `partial:N` torn writes),
+/// `store.save.fsync`, `store.save.rename`.
 pub fn save_snapshot<P: AsRef<Path>>(
     path: P,
     contents: &SnapshotContents,
 ) -> Result<u64, StoreError> {
-    let file = std::fs::File::create(path)?;
-    write_snapshot(std::io::BufWriter::new(file), contents)
+    let path = path.as_ref();
+    let tmp = snapshot_tmp_path(path);
+    let result = stage_and_rename(path, &tmp, contents);
+    if result.is_err() {
+        // Contract: a failed save never litters `*.tmp`.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+fn stage_and_rename(
+    path: &Path,
+    tmp: &Path,
+    contents: &SnapshotContents,
+) -> Result<u64, StoreError> {
+    if let Some(fault) = dsketch_faults::fail_point!("store.save.create") {
+        return Err(StoreError::Io(fault.io_error("store.save.create")));
+    }
+    let file = std::fs::File::create(tmp)?;
+    let written = write_snapshot(
+        std::io::BufWriter::new(dsketch_faults::FaultWriter::new(&file, "store.save.write")),
+        contents,
+    )?;
+    if let Some(fault) = dsketch_faults::fail_point!("store.save.fsync") {
+        return Err(StoreError::Io(fault.io_error("store.save.fsync")));
+    }
+    // Durability before visibility: the staged bytes reach the platters
+    // before the rename can publish them.
+    file.sync_all()?;
+    drop(file);
+    if let Some(fault) = dsketch_faults::fail_point!("store.save.rename") {
+        return Err(StoreError::Io(fault.io_error("store.save.rename")));
+    }
+    std::fs::rename(tmp, path)?;
+    // Best effort: persist the directory entry too, so the rename itself
+    // survives power loss.  Not all platforms support fsync on
+    // directories; failure here cannot un-publish the snapshot.
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = std::fs::File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(written)
 }
 
 /// Read, verify and decode a snapshot from any reader.

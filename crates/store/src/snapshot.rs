@@ -65,6 +65,20 @@ impl SnapshotWriter {
         let header_bytes = header.to_bytes()?;
         writer.write_all(&header_bytes)?;
         for (_, payload) in &self.sections {
+            match dsketch_faults::fail_point!("store.write.section") {
+                None => {}
+                Some(dsketch_faults::Fault::Partial(n)) => {
+                    // A torn section write: flush the allowed prefix so the
+                    // truncation really lands in the stream, then fail.
+                    let keep = usize::try_from(n).unwrap_or(usize::MAX).min(payload.len());
+                    writer.write_all(&payload[..keep])?;
+                    writer.flush()?;
+                    return Err(StoreError::Io(
+                        dsketch_faults::Fault::Partial(n).io_error("store.write.section"),
+                    ));
+                }
+                Some(fault) => return Err(StoreError::Io(fault.io_error("store.write.section"))),
+            }
             writer.write_all(payload)?;
         }
         writer.flush()?;
@@ -145,6 +159,9 @@ impl<R: Read> SnapshotReader<R> {
     /// payload area, CRC-check every section.  Fails with a typed
     /// [`StoreError`] on truncation, corruption, or version mismatch.
     pub fn read(mut self) -> Result<RawSnapshot, StoreError> {
+        if let Some(fault) = dsketch_faults::fail_point!("store.load.read") {
+            return Err(StoreError::Io(fault.io_error("store.load.read")));
+        }
         let mut prelude = [0u8; 12];
         read_exact(&mut self.inner, &mut prelude, "prelude")?;
         // Check magic and version *before* trusting the header length, so a

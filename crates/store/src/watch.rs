@@ -16,6 +16,7 @@ use crate::pipeline::{build_and_save, peek_snapshot_meta};
 use dsketch::prelude::{SchemeConfig, SchemeSpec};
 use netgraph::GraphFingerprint;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// What one poll tick observed and did.
 #[derive(Debug)]
@@ -47,6 +48,11 @@ pub struct WatchCore {
     spec: SchemeSpec,
     config: SchemeConfig,
     last: Option<GraphFingerprint>,
+    /// Ticks in a row that ended in an error; resets to zero on any
+    /// successful tick.  Drives [`WatchCore::next_delay`]'s backoff.
+    consecutive_failures: u32,
+    /// SplitMix64 state for deterministic backoff jitter.
+    jitter_state: u64,
 }
 
 impl WatchCore {
@@ -66,6 +72,8 @@ impl WatchCore {
             spec,
             config,
             last: None,
+            consecutive_failures: 0,
+            jitter_state: 0x9E37_79B9_7F4A_7C15,
         }
     }
 
@@ -99,7 +107,28 @@ impl WatchCore {
 
     /// One poll tick: reload the edge list, compare fingerprints, rebuild
     /// and save when they differ.
+    ///
+    /// Errors are *survivable by design*: state (`last_fingerprint`) only
+    /// advances on success, so a failed tick — edge list mid-rewrite, a
+    /// rebuild error, a failed save — retries from scratch on the next
+    /// tick while whatever snapshot is on disk keeps serving.  The core
+    /// counts [`consecutive_failures`](Self::consecutive_failures) so the
+    /// embedding loop can pace retries with [`next_delay`](Self::next_delay).
     pub fn check_once(&mut self) -> Result<WatchOutcome, StoreError> {
+        let outcome = self.tick();
+        match &outcome {
+            Ok(_) => self.consecutive_failures = 0,
+            Err(_) => {
+                self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+            }
+        }
+        outcome
+    }
+
+    fn tick(&mut self) -> Result<WatchOutcome, StoreError> {
+        if let Some(fault) = dsketch_faults::fail_point!("watch.rebuild") {
+            return Err(StoreError::Io(fault.io_error("watch.rebuild")));
+        }
         let graph = netgraph::io::load_edge_list(&self.graph_path)?;
         let fingerprint = graph.fingerprint();
         if self.last == Some(fingerprint) {
@@ -113,6 +142,40 @@ impl WatchCore {
             bytes,
         })
     }
+
+    /// Ticks in a row that ended in an error (0 after any success).
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// How long the embedding loop should sleep before the next tick:
+    /// `base` while healthy; after `f` consecutive failures, an
+    /// exponential `base · 2^f` capped at `cap`, with deterministic
+    /// jitter: the delay is drawn uniformly from the upper half of the
+    /// interval (`[raw/2, raw]`), so a fleet of watchers desynchronizes
+    /// instead of retrying in lock step while the expected delay still
+    /// doubles per failure until the cap.
+    pub fn next_delay(&mut self, base: Duration, cap: Duration) -> Duration {
+        if self.consecutive_failures == 0 {
+            return base;
+        }
+        let exponent = self.consecutive_failures.min(16);
+        let raw = base
+            .saturating_mul(2u32.saturating_pow(exponent))
+            .min(cap.max(base));
+        self.jitter_state = splitmix64(self.jitter_state);
+        let nanos = u64::try_from(raw.as_nanos()).unwrap_or(u64::MAX);
+        let half = nanos / 2;
+        Duration::from_nanos(half + self.jitter_state % (nanos - half + 1))
+    }
+}
+
+/// SplitMix64 step — the workspace's standard deterministic mixer.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -185,6 +248,59 @@ mod tests {
         let mut other = WatchCore::new(&edges, &snap, SchemeSpec::three_stretch(0.5), config);
         assert!(!other.prime_from_snapshot());
         assert_eq!(other.last_fingerprint(), None);
+
+        std::fs::remove_file(&edges).ok();
+        std::fs::remove_file(&snap).ok();
+    }
+
+    #[test]
+    fn backoff_grows_while_failing_and_resets_on_success() {
+        let edges = temp_path("backoff.edges");
+        let snap = temp_path("backoff.dsk");
+        std::fs::remove_file(&edges).ok();
+        let mut core = WatchCore::new(
+            &edges,
+            &snap,
+            SchemeSpec::thorup_zwick(2),
+            SchemeConfig::default().with_seed(5).with_parallel_build(),
+        );
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_secs(5);
+        assert_eq!(
+            core.next_delay(base, cap),
+            base,
+            "healthy loop polls at base"
+        );
+
+        // Missing edge list: every tick fails, the failure count climbs,
+        // and each jittered delay lands in the upper half of the capped
+        // exponential interval — so expected delay doubles per failure.
+        for failures in 1..=8u32 {
+            assert!(core.check_once().is_err());
+            assert_eq!(core.consecutive_failures(), failures);
+            let raw = base.saturating_mul(2u32.pow(failures)).min(cap);
+            let delay = core.next_delay(base, cap);
+            assert!(
+                delay >= raw / 2 && delay <= raw,
+                "failure {failures}: delay {delay:?} outside [{:?}, {raw:?}]",
+                raw / 2
+            );
+        }
+        assert!(
+            core.next_delay(base, cap) >= cap / 2,
+            "eight failures reach the capped interval"
+        );
+
+        // The edge list appears: the next tick succeeds, failures reset,
+        // and the loop returns to its base cadence.
+        let graph = erdos_renyi(16, 0.3, GeneratorConfig::uniform(5, 1, 10));
+        netgraph::io::save_edge_list(&graph, &edges).unwrap();
+        assert!(matches!(
+            core.check_once().unwrap(),
+            WatchOutcome::Rebuilt { nodes: 16, .. }
+        ));
+        assert_eq!(core.consecutive_failures(), 0);
+        assert_eq!(core.next_delay(base, cap), base);
 
         std::fs::remove_file(&edges).ok();
         std::fs::remove_file(&snap).ok();

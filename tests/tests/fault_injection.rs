@@ -1,0 +1,409 @@
+//! Cross-crate fault-injection contracts: the serve stack degrades only
+//! in availability, never in correctness.
+//!
+//! * A save that fails at **any** `store.save.*` failpoint leaves the old
+//!   snapshot byte-identical and loadable, and no `*.tmp` litter.
+//! * Property test: a staging file torn at any byte boundary is rejected
+//!   by both the cold-start loader and the deep verifier — the filesystem
+//!   only ever holds the old state or the new state, never a third.
+//! * An injected shard panic surfaces as the typed retryable
+//!   `ShardPanicked` error, is followed by a recorded supervisor restart,
+//!   and the shard keeps serving afterwards.
+//! * `connect_with_retry` rides out a listener that binds late and
+//!   returns a typed error once its deadline is spent.
+//! * A full accept hand-off queue answers plain HTTP `503` with
+//!   `Retry-After` and counts one overload.
+//! * `GET`/`POST /faults` arm, report, and disarm the process registry.
+//!
+//! Failpoints are process-global, so every test that arms (or must see a
+//! disarmed registry) serializes on one lock and disarms on drop — a
+//! failing assertion can never leak faults into a neighbouring test.
+
+use dsketch::prelude::*;
+use dsketch_serve::{NetClient, NetConfig, NetServer, ServeConfig, SketchServer};
+use dsketch_store::{build_stored, load_frozen_oracle, save_snapshot, snapshot_tmp_path};
+use netgraph::generators::{erdos_renyi, GeneratorConfig};
+use netgraph::{Graph, NodeId};
+use proptest::prelude::*;
+use std::io::Read;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Holds the process-wide fault lock for one test body; arms `spec` on
+/// entry (see [`ArmedScope::arm`]) and disarms on drop, panicking or not.
+struct ArmedScope {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl ArmedScope {
+    /// Serialize and arm `spec`.
+    fn arm(spec: &str) -> ArmedScope {
+        let scope = ArmedScope::bare();
+        dsketch_faults::arm_from_spec(spec).expect("valid fault spec");
+        scope
+    }
+
+    /// Serialize with the registry disarmed (for tests that need to *see*
+    /// a fault-free process, or that arm through the HTTP endpoint).
+    fn bare() -> ArmedScope {
+        let guard = FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        dsketch_faults::disarm_all();
+        ArmedScope { _guard: guard }
+    }
+}
+
+impl Drop for ArmedScope {
+    fn drop(&mut self) {
+        dsketch_faults::disarm_all();
+    }
+}
+
+fn graph(n: usize, seed: u64) -> Graph {
+    erdos_renyi(n, 8.0 / n as f64, GeneratorConfig::uniform(seed, 1, 50))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dsketch_fault_injection");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// A deterministic sample of query pairs covering the whole id range.
+fn sample_pairs(n: usize, count: u32) -> Vec<(NodeId, NodeId)> {
+    (0..count)
+        .map(|i| {
+            (
+                NodeId((i.wrapping_mul(2654435761)) % n as u32),
+                NodeId((i.wrapping_mul(40503).wrapping_add(12345)) % n as u32),
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe saves: every store failpoint fails cleanly.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn failed_saves_leave_no_litter_and_preserve_the_old_snapshot() {
+    let graph = graph(48, 5);
+    let contents = build_stored(
+        &graph,
+        SchemeSpec::thorup_zwick(2),
+        &SchemeConfig::default().with_seed(3),
+    )
+    .expect("build");
+    let path = temp_path("crash_safe.dsk");
+    {
+        let _scope = ArmedScope::bare();
+        save_snapshot(&path, &contents).expect("clean save");
+    }
+    let old_bytes = std::fs::read(&path).expect("snapshot bytes");
+
+    for spec in [
+        "seed=3;store.save.create=error,max=1",
+        "seed=3;store.save.write=error,max=1",
+        "seed=3;store.save.write=partial:64,max=1",
+        "seed=3;store.save.fsync=error,max=1",
+        "seed=3;store.save.rename=error,max=1",
+        "seed=3;store.write.section=partial:16,max=1",
+    ] {
+        let _scope = ArmedScope::arm(spec);
+        assert!(
+            save_snapshot(&path, &contents).is_err(),
+            "{spec}: the armed save must fail"
+        );
+        assert_eq!(
+            dsketch_faults::registry().total_trips(),
+            1,
+            "{spec}: exactly one injected fault fired"
+        );
+        assert!(
+            !snapshot_tmp_path(&path).exists(),
+            "{spec}: a failed save must not litter *.tmp"
+        );
+        assert_eq!(
+            std::fs::read(&path).expect("old snapshot"),
+            old_bytes,
+            "{spec}: the old snapshot stays byte-identical"
+        );
+        load_frozen_oracle(&path).expect("the old snapshot stays loadable");
+    }
+
+    // Disarmed, the identical save succeeds over the same path.
+    let _scope = ArmedScope::bare();
+    save_snapshot(&path, &contents).expect("disarmed save");
+    load_frozen_oracle(&path).expect("fresh snapshot loads");
+    std::fs::remove_file(&path).ok();
+}
+
+// ---------------------------------------------------------------------------
+// Torn staging files: old state or new state, never a third.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn a_torn_staging_file_is_rejected_and_the_old_snapshot_survives(
+        cut_permille in 0usize..1000,
+        seed in 0u64..4,
+    ) {
+        let _scope = ArmedScope::bare();
+        let graph = graph(32, seed + 1);
+        let contents = build_stored(
+            &graph,
+            SchemeSpec::thorup_zwick(2),
+            &SchemeConfig::default().with_seed(seed),
+        )
+        .expect("build");
+        let path = temp_path(&format!("torn_{seed}_{cut_permille}.dsk"));
+        save_snapshot(&path, &contents).expect("clean save");
+        let bytes = std::fs::read(&path).expect("snapshot bytes");
+
+        // Simulate a writer killed mid-stage: the published file still
+        // holds the old state, the staging file holds a strict prefix.
+        let cut = cut_permille * (bytes.len() - 1) / 1000;
+        let tmp = snapshot_tmp_path(&path);
+        std::fs::write(&tmp, &bytes[..cut]).expect("torn staging file");
+
+        // Old state: intact and loadable.
+        load_frozen_oracle(&path).expect("published snapshot unaffected");
+        // Third state: impossible.  The torn staging file is rejected by
+        // the cold-start loader and by the independent deep verifier.
+        prop_assert!(
+            SketchServer::from_snapshot(&tmp, ServeConfig::default()).is_err(),
+            "cold start must reject a torn staging file"
+        );
+        prop_assert!(
+            dsketch_analysis::verify_snapshot_file(&tmp).is_err(),
+            "deep verify must reject a torn staging file"
+        );
+
+        std::fs::remove_file(&tmp).ok();
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard supervision: panic → typed error → restart → keep serving.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn an_injected_shard_panic_is_restarted_and_the_shard_keeps_serving() {
+    let graph = graph(48, 7);
+    let outcome = SketchBuilder::new(SchemeSpec::thorup_zwick(2))
+        .seed(3)
+        .build(&graph)
+        .expect("build");
+    let oracle: Arc<dyn DistanceOracle> = Arc::from(outcome.sketches);
+    let server =
+        SketchServer::start(Arc::clone(&oracle), ServeConfig::default()).expect("server start");
+    let client = server.client();
+    let pairs = sample_pairs(48, 256);
+
+    let scope = ArmedScope::arm("seed=11;serve.shard.dispatch=panic,max=2");
+    let mut panicked = 0u32;
+    for chunk in pairs.chunks(32) {
+        for (mut result, &(u, v)) in client.query_batch(chunk).into_iter().zip(chunk) {
+            let mut retries = 0u32;
+            while let Err(SketchError::ShardPanicked { shard }) = result {
+                panicked += 1;
+                assert!(shard < 4, "the error names a real shard");
+                assert!(
+                    result.as_ref().unwrap_err().to_string().contains("retry"),
+                    "the typed error spells out the retry contract"
+                );
+                retries += 1;
+                assert!(retries <= 16, "retry budget exhausted for ({u}, {v})");
+                result = client.query(u, v);
+            }
+            match (result, oracle.estimate(u, v)) {
+                (Ok(got), Ok(want)) => assert_eq!(got, want, "wrong answer at ({u}, {v})"),
+                (Err(_), Err(_)) => {}
+                (got, want) => panic!("divergence at ({u}, {v}): {got:?} vs {want:?}"),
+            }
+        }
+    }
+    assert!(
+        panicked >= 2,
+        "both armed panics must shed at least one in-flight pair"
+    );
+    drop(scope);
+
+    // Disarmed sweep: the restarted shards answer everything correctly.
+    for chunk in pairs.chunks(64) {
+        for (result, &(u, v)) in client.query_batch(chunk).into_iter().zip(chunk) {
+            match (result, oracle.estimate(u, v)) {
+                (Ok(got), Ok(want)) => assert_eq!(got, want),
+                (Err(SketchError::ShardPanicked { .. }), _) => {
+                    panic!("no shard may stay panicked after the storm")
+                }
+                (Err(_), Err(_)) => {}
+                (got, want) => panic!("divergence at ({u}, {v}): {got:?} vs {want:?}"),
+            }
+        }
+    }
+    drop(client);
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.totals.restarts, 2,
+        "every injected panic is followed by exactly one recorded restart"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// connect_with_retry: late listeners and spent deadlines.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn connect_with_retry_rides_out_a_late_listener_and_times_out_cleanly() {
+    // Reserve a port the OS considers free, then release it.
+    let placeholder = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port");
+    let addr = placeholder.local_addr().expect("addr").to_string();
+    drop(placeholder);
+
+    // Nothing listens: the deadline is spent on backoff sleeps, then the
+    // final attempt's typed error surfaces.
+    let started = Instant::now();
+    assert!(
+        NetClient::connect_with_retry(&addr, Duration::from_millis(50), Duration::from_millis(300))
+            .is_err(),
+        "no listener ever appears"
+    );
+    assert!(
+        started.elapsed() >= Duration::from_millis(280),
+        "the whole deadline is spent retrying, not failing fast"
+    );
+
+    // A listener that binds late: the retry loop connects once it exists.
+    let late_addr = addr.clone();
+    let listener = dsketch::parallel::spawn_named("late-listener", move || {
+        std::thread::sleep(Duration::from_millis(150));
+        let listener = std::net::TcpListener::bind(&late_addr).expect("late bind");
+        listener.accept().expect("accept the retried connect");
+    });
+    let started = Instant::now();
+    let client =
+        NetClient::connect_with_retry(&addr, Duration::from_secs(1), Duration::from_secs(10))
+            .expect("connect once the listener appears");
+    assert!(
+        started.elapsed() >= Duration::from_millis(100),
+        "the first attempts must have been refused"
+    );
+    drop(client);
+    listener.join().expect("listener thread");
+}
+
+// ---------------------------------------------------------------------------
+// Overload shedding: 503 + Retry-After, counted once.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn a_full_accept_queue_answers_503_with_retry_after() {
+    let graph = graph(32, 9);
+    let outcome = SketchBuilder::new(SchemeSpec::thorup_zwick(2))
+        .seed(3)
+        .build(&graph)
+        .expect("build");
+    let oracle: Arc<dyn DistanceOracle> = Arc::from(outcome.sketches);
+    let server = NetServer::start(
+        Arc::clone(&oracle),
+        ServeConfig::default(),
+        NetConfig::default(),
+        "127.0.0.1:0",
+    )
+    .expect("net server start");
+    let addr = server.local_addr().to_string();
+
+    let scope = ArmedScope::arm("seed=5;net.accept.handoff=error,max=1");
+    let mut shed = std::net::TcpStream::connect(&addr).expect("tcp connect");
+    shed.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut reply = String::new();
+    shed.read_to_string(&mut reply)
+        .expect("read the shed reply");
+    assert!(
+        reply.starts_with("HTTP/1.1 503 Service Unavailable"),
+        "shed connections get a real status line: {reply:?}"
+    );
+    assert!(reply.contains("Retry-After: 1"), "{reply:?}");
+    assert!(reply.contains("\"error\":\"overloaded\""), "{reply:?}");
+    drop(scope);
+
+    // The next connection is accepted and served normally.
+    let mut client =
+        NetClient::connect_with_retry(&addr, Duration::from_secs(5), Duration::from_secs(5))
+            .expect("post-shed connect");
+    client.ping().expect("ping after the shed");
+    drop(client);
+    let stats = server.shutdown();
+    assert_eq!(stats.net.overloads, 1, "one shed accept, one overload");
+}
+
+// ---------------------------------------------------------------------------
+// The /faults debug endpoint.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn the_faults_endpoint_arms_reports_and_disarms() {
+    use std::io::Write;
+
+    fn http(addr: &str, method: &str, target: &str) -> String {
+        let mut stream = std::net::TcpStream::connect(addr).expect("http connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        write!(
+            stream,
+            "{method} {target} HTTP/1.1\r\nhost: dsketch\r\nconnection: close\r\n\r\n"
+        )
+        .expect("http write");
+        let mut body = String::new();
+        stream.read_to_string(&mut body).expect("http read");
+        body
+    }
+
+    let _scope = ArmedScope::bare();
+    let graph = graph(32, 11);
+    let outcome = SketchBuilder::new(SchemeSpec::thorup_zwick(2))
+        .seed(3)
+        .build(&graph)
+        .expect("build");
+    let oracle: Arc<dyn DistanceOracle> = Arc::from(outcome.sketches);
+    let server = NetServer::start(
+        Arc::clone(&oracle),
+        ServeConfig::default(),
+        NetConfig::default(),
+        "127.0.0.1:0",
+    )
+    .expect("net server start");
+    let addr = server.local_addr().to_string();
+
+    // Disarmed process: the CI `faults-disarmed` assert keys on this.
+    let clean = http(&addr, "GET", "/faults");
+    assert!(clean.contains("\"armed_points\":0"), "{clean:?}");
+    assert!(clean.contains("\"total_trips\":0"), "{clean:?}");
+
+    // Arm a plan whose `after` keeps it from ever actually tripping.
+    // spec = seed=9;store.load.read=error,after=1000000
+    let spec = "seed%3D9%3Bstore.load.read%3Derror%2Cafter%3D1000000";
+    let armed = http(&addr, "POST", &format!("/faults?spec={spec}"));
+    assert!(armed.contains("\"armed_points\":1"), "{armed:?}");
+    assert!(armed.contains("\"point\":\"store.load.read\""), "{armed:?}");
+    assert!(armed.contains("\"action\":\"error\""), "{armed:?}");
+    assert!(armed.contains("\"after\":1000000"), "{armed:?}");
+    assert_eq!(dsketch_faults::registry().armed_points(), 1);
+
+    // A bad spec is a 400 and leaves the armed plan untouched.
+    let bad = http(&addr, "POST", "/faults?spec=nonsense");
+    assert!(bad.contains("bad-fault-spec"), "{bad:?}");
+    assert_eq!(dsketch_faults::registry().armed_points(), 1);
+
+    let disarmed = http(&addr, "POST", "/faults?disarm=all");
+    assert!(disarmed.contains("\"armed_points\":0"), "{disarmed:?}");
+    assert_eq!(dsketch_faults::registry().armed_points(), 0);
+    server.shutdown();
+}
